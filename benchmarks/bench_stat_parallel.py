@@ -1,0 +1,97 @@
+"""Sec. 5.1: parallelization models.
+
+* Global routing: the volatility-tolerant block solvers let threads work
+  against stale prices without losing the approximation guarantee.  The
+  bench compares the serial Algorithm 2 against the simulated parallel
+  variant at several thread counts - lambda must stay flat.
+* Detailed routing: the region partition sequence balances estimated
+  workload per thread and shrinks round by round; the bench reports the
+  per-round balance factors.
+"""
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.partition import (
+    assign_nets_to_rounds,
+    balance_report,
+    partition_sequence,
+)
+from repro.grid.tracks import build_track_plan
+from repro.groute.capacity import estimate_capacities
+from repro.groute.graph import GlobalRoutingGraph
+from repro.groute.resources import ResourceModel
+from repro.groute.sharing import (
+    ResourceSharingSolver,
+    solve_parallel_simulated,
+)
+
+SPEC = ChipSpec("statpar", rows=3, row_width_cells=7, net_count=14, seed=41)
+
+
+def test_parallel_sharing_quality(benchmark):
+    chip = generate_chip(SPEC)
+    graph = GlobalRoutingGraph(chip)
+    estimate_capacities(graph, build_track_plan(chip))
+    for edge in list(graph.capacities):
+        graph.capacities[edge] *= 0.4
+    routable = [n for n in chip.nets if not graph.is_local_net(n)]
+    model = ResourceModel(graph, chip.nets)
+
+    def run():
+        rows = []
+        lambdas = {}
+        serial = ResourceSharingSolver(
+            graph, model, phases=10, reuse_threshold=1.0
+        ).solve(routable)
+        rows.append(["serial", f"{serial.max_congestion:.3f}"])
+        lambdas["serial"] = serial.max_congestion
+        for threads in (2, 4, 8):
+            parallel = solve_parallel_simulated(
+                graph, model, routable, threads=threads, phases=10
+            )
+            rows.append([f"{threads} threads (simulated)",
+                         f"{parallel.max_congestion:.3f}"])
+            lambdas[threads] = parallel.max_congestion
+        return rows, lambdas
+
+    rows, lambdas = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Sec. 5.1: volatility-tolerant parallel resource sharing",
+        ["configuration", "lambda"],
+        rows,
+    )
+    benchmark.extra_info["lambdas"] = {str(k): v for k, v in lambdas.items()}
+    for threads in (2, 4, 8):
+        assert lambdas[threads] <= lambdas["serial"] * 1.15, (
+            "stale-price blocks must not degrade congestion materially"
+        )
+
+
+def test_partition_balance(benchmark):
+    chip = generate_chip(SPEC)
+
+    def run():
+        sequence = partition_sequence(chip, threads=8)
+        rounds = assign_nets_to_rounds(chip, sequence)
+        return sequence, rounds, balance_report(rounds)
+
+    sequence, rounds, report = benchmark(run)
+    rows = [
+        [index, len(part.regions), row["nets"], f"{row['max_share']:.2f}"]
+        for index, (part, row) in enumerate(zip(sequence, report))
+    ]
+    print_table(
+        "Sec. 5.1: detailed routing partition rounds (max_share = worst "
+        "thread load / ideal)",
+        ["round", "regions", "nets routable", "max_share"],
+        rows,
+    )
+    benchmark.extra_info["report"] = report
+    # The region count shrinks and ends at 1; every net is assigned.
+    counts = [len(part.regions) for part in sequence]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] == 1
+    assigned = sum(row["nets"] for row in report)
+    assert assigned == len(chip.nets)

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each table/figure of the paper has one ``bench_*`` module that
+regenerates its rows or series.  Benchmarks print their comparison rows
+(run pytest with ``-s`` to see them) and attach the same data as
+``benchmark.extra_info`` so the JSON export carries it.
+
+The paper's chips have 120k-960k nets; pure Python reproduces the flows
+on chips scaled down ~10^4x (DESIGN.md documents the substitution).  The
+``BENCH_CHIP_SPECS`` mirror Table I's *relative* chip sizes.  By default
+the expensive full-flow benches run the first ``DEFAULT_CHIP_COUNT``
+chips; set ``REPRO_BENCH_FULL=1`` to run all eight.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.chip.generator import ChipSpec
+
+#: Scaled-down counterparts of Table I's eight chips (chips 5 and 8 are
+#: the 32 nm designs and the largest, as in the paper).
+BENCH_CHIP_SPECS: List[ChipSpec] = [
+    ChipSpec("chip1", rows=2, row_width_cells=5, net_count=8, seed=101),
+    ChipSpec("chip2", rows=2, row_width_cells=5, net_count=9, seed=102),
+    ChipSpec("chip3", rows=2, row_width_cells=6, net_count=9, seed=103),
+    ChipSpec("chip4", rows=3, row_width_cells=5, net_count=10, seed=104),
+    ChipSpec("chip5", rows=3, row_width_cells=7, net_count=14, seed=105, tech="32nm"),
+    ChipSpec("chip6", rows=3, row_width_cells=8, net_count=16, seed=106),
+    ChipSpec("chip7", rows=4, row_width_cells=7, net_count=17, seed=107),
+    ChipSpec("chip8", rows=4, row_width_cells=9, net_count=24, seed=108, tech="32nm"),
+]
+
+DEFAULT_CHIP_COUNT = 4
+
+
+def bench_specs() -> List[ChipSpec]:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return BENCH_CHIP_SPECS
+    return BENCH_CHIP_SPECS[:DEFAULT_CHIP_COUNT]
+
+
+def print_table(title: str, header: List[str], rows: List[List]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,55 @@
+"""Interval-based path search demo (Sec. 4.1, Fig. 6).
+
+Runs the same long-distance on-track connection with Algorithm 4
+(interval labelling) and with classical node labelling, comparing label
+counts, heap pops and the (identical) optimal costs - the paper's
+"at least factor 6" labelling reduction.
+
+Run:  python examples/interval_search_demo.py
+"""
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.area import RoutingArea
+from repro.droute.future_cost import FutureCostH, SearchCosts
+from repro.droute.intervals import GraphView
+from repro.droute.pathsearch import interval_path_search, node_path_search
+from repro.droute.space import RoutingSpace
+
+
+def main() -> None:
+    chip = generate_chip(
+        ChipSpec("interval", rows=3, row_width_cells=8, net_count=8, seed=3)
+    )
+    space = RoutingSpace(chip)
+    graph = space.graph
+    costs = SearchCosts()
+    area = RoutingArea.everywhere()
+
+    scenarios = [
+        ("same-track straight", (5, 2, 0), (5, 2, len(graph.crosses[5]) - 1)),
+        ("across the die", (1, 1, 1),
+         (6, len(graph.tracks[6]) - 2, len(graph.crosses[6]) - 2)),
+        ("layer hop", (2, 3, 5), (5, 4, 10)),
+    ]
+    print(f"{'scenario':<22} {'cost':>7} {'pops(I)':>8} {'pops(N)':>8} "
+          f"{'labels(I)':>10} {'labels(N)':>10} {'ratio':>6}")
+    for name, s, t in scenarios:
+        pi = FutureCostH(graph, [t], costs)
+        view_i = GraphView(space, "default", area, forced_vertices={s, t})
+        result_i = interval_path_search(view_i, {s: 0}, {t}, costs, pi)
+        view_n = GraphView(space, "default", area, forced_vertices={s, t})
+        result_n = node_path_search(view_n, {s: 0}, {t}, costs, pi)
+        assert result_i.cost == result_n.cost, "both searches must agree"
+        ratio = result_n.stats.pops / max(result_i.stats.pops, 1)
+        print(
+            f"{name:<22} {result_i.cost:>7} {result_i.stats.pops:>8} "
+            f"{result_n.stats.pops:>8} {result_i.stats.labels_pushed:>10} "
+            f"{result_n.stats.labels_pushed:>10} {ratio:>5.1f}x"
+        )
+    print("\nIdentical costs; the interval search settles whole")
+    print("zero-reduced-cost runs per pop (the J_I(delta) frontier of")
+    print("Algorithm 4), so pops track bends, not distance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Persist a routed chip and render its layers (repro.io + repro.viz).
+
+Routes a small chip, writes the instance and the routing result in the
+text interchange format, reloads both, and prints an ASCII rendering of
+two layers - the workflow a downstream user needs to inspect results
+outside Python.
+
+Run:  python examples/save_and_render.py
+"""
+
+import os
+import tempfile
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.router import DetailedRouter
+from repro.droute.space import RoutingSpace
+from repro.io import (
+    read_chip_file,
+    read_routes_file,
+    write_chip_file,
+    write_routes_file,
+)
+from repro.viz import render_layer
+
+
+def main() -> None:
+    chip = generate_chip(
+        ChipSpec("saveme", rows=2, row_width_cells=5, net_count=6, seed=12)
+    )
+    space = RoutingSpace(chip)
+    result = DetailedRouter(space).run()
+    print(f"routed {len(result.routed)}/{len(chip.nets)} nets, "
+          f"{result.wire_length} dbu, {result.via_count} vias")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chip_path = os.path.join(tmp, "chip.txt")
+        routes_path = os.path.join(tmp, "routes.txt")
+        write_chip_file(chip, chip_path)
+        write_routes_file(space.routes, routes_path, chip.name)
+        print(f"\nwrote {os.path.getsize(chip_path)} bytes of chip text, "
+              f"{os.path.getsize(routes_path)} bytes of routes text")
+
+        reloaded_chip = read_chip_file(chip_path)
+        reloaded_routes = read_routes_file(routes_path)
+        assert sorted(reloaded_routes) == sorted(space.routes)
+        print(f"reloaded {len(reloaded_chip.nets)} nets, "
+              f"{len(reloaded_routes)} routes - roundtrip OK")
+
+    for layer in (1, 2):
+        print()
+        print(render_layer(space, layer, width=90))
+
+
+if __name__ == "__main__":
+    main()

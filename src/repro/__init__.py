@@ -1,0 +1,18 @@
+"""BonnRoute reproduction.
+
+A pure-Python reimplementation of the algorithms and data structures of
+
+    Gester, Mueller, Nieberg, Panten, Schulte, Vygen:
+    "BonnRoute: Algorithms and Data Structures for Fast and Good VLSI
+    Routing", DAC 2012 / ACM TODAES 18(2), 2013.
+
+Public entry points:
+
+* :func:`repro.chip.generate_chip` - build a synthetic routing instance.
+* :class:`repro.groute.GlobalRouter` - resource-sharing global router.
+* :class:`repro.droute.DetailedRouter` - track-based detailed router.
+* :class:`repro.flow.BonnRouteFlow` - the full BR(+cleanup) flow.
+* :mod:`repro.baseline` - the "industry standard router" stand-in.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic chip to a text file;
+* ``route`` — run the BonnRoute flow (or the ISR baseline) on a chip
+  file and write the routes;
+* ``drc`` — check a routed chip and print the violation summary;
+* ``render`` — ASCII-render one layer of a routed chip.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.io.textformat import (
+    read_chip_file,
+    read_routes_file,
+    write_chip_file,
+    write_routes_file,
+)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = ChipSpec(
+        args.name, rows=args.rows, row_width_cells=args.cells,
+        net_count=args.nets, seed=args.seed,
+    )
+    chip = generate_chip(spec)
+    write_chip_file(chip, args.output)
+    print(f"wrote {chip} to {args.output}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    chip = read_chip_file(args.chip)
+    if args.flow == "bonnroute":
+        from repro.flow.bonnroute import BonnRouteFlow
+
+        result = BonnRouteFlow(
+            chip, gr_phases=args.gr_phases, seed=args.seed,
+            cleanup=not args.no_cleanup,
+        ).run()
+    else:
+        from repro.flow.isr_flow import IsrFlow
+
+        result = IsrFlow(chip, cleanup=not args.no_cleanup).run()
+    write_routes_file(result.space.routes, args.output, chip.name)
+    for key, value in result.metrics.as_dict().items():
+        print(f"{key:13}: {value}")
+    print(f"routes written to {args.output}")
+    return 0 if result.detailed_result.failed == set() else 1
+
+
+def _cmd_drc(args: argparse.Namespace) -> int:
+    from repro.drc.checker import DrcChecker
+    from repro.droute.space import RoutingSpace
+
+    chip = read_chip_file(args.chip)
+    space = RoutingSpace(chip)
+    routes = read_routes_file(args.routes)
+    for route in routes.values():
+        for stick, level, type_name in route.wire_items():
+            space.add_wire(route.net_name, type_name, stick, level)
+        for via, level, type_name in route.via_items():
+            space.add_via(route.net_name, type_name, via, level)
+    report = DrcChecker(space).run()
+    print(f"errors: {report.error_count}  ({report.by_kind()})")
+    if args.verbose:
+        for violation in report.violations:
+            print(f"  {violation}")
+    return 0 if report.error_count == 0 else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.droute.space import RoutingSpace
+    from repro.viz import render_layer
+
+    chip = read_chip_file(args.chip)
+    space = RoutingSpace(chip)
+    if args.routes:
+        for route in read_routes_file(args.routes).values():
+            for stick, level, type_name in route.wire_items():
+                space.add_wire(route.net_name, type_name, stick, level)
+            for via, level, type_name in route.via_items():
+                space.add_via(route.net_name, type_name, via, level)
+    print(render_layer(space, args.layer, width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BonnRoute reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic chip")
+    generate.add_argument("output")
+    generate.add_argument("--name", default="chip")
+    generate.add_argument("--rows", type=int, default=3)
+    generate.add_argument("--cells", type=int, default=6)
+    generate.add_argument("--nets", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=1)
+    generate.set_defaults(func=_cmd_generate)
+
+    route = sub.add_parser("route", help="route a chip file")
+    route.add_argument("chip")
+    route.add_argument("output")
+    route.add_argument("--flow", choices=("bonnroute", "isr"), default="bonnroute")
+    route.add_argument("--gr-phases", type=int, default=15)
+    route.add_argument("--seed", type=int, default=1)
+    route.add_argument("--no-cleanup", action="store_true")
+    route.set_defaults(func=_cmd_route)
+
+    drc = sub.add_parser("drc", help="check a routed chip")
+    drc.add_argument("chip")
+    drc.add_argument("routes")
+    drc.add_argument("--verbose", action="store_true")
+    drc.set_defaults(func=_cmd_drc)
+
+    render = sub.add_parser("render", help="ASCII-render one layer")
+    render.add_argument("chip")
+    render.add_argument("--routes", default=None)
+    render.add_argument("--layer", type=int, default=1)
+    render.add_argument("--width", type=int, default=100)
+    render.set_defaults(func=_cmd_render)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The "industry standard router" (ISR) stand-in.
+
+The paper compares BonnRoute against a commercial router it calls ISR,
+described as a negotiation-congestion global router followed by a track
+assignment step and gridless completion (Sec. 5.3).  This package
+implements that architecture - the documented substitution of DESIGN.md:
+
+* :mod:`repro.baseline.isr_global` - 2D negotiation-based (PathFinder
+  style) global routing with history costs, followed by greedy layer
+  assignment (the classic contemporary academic/industrial approach the
+  paper contrasts with its 3D resource sharing);
+* :mod:`repro.baseline.isr_detailed` - track assignment for long
+  connections plus node-based maze routing with greedy pin access;
+* :mod:`repro.baseline.cleanup` - the local DRC cleanup pass used both
+  as the second half of the "BR+ISR" flow and as ISR's own finishing
+  step.
+"""
+
+from repro.baseline.isr_global import IsrGlobalRouter, IsrGlobalResult
+from repro.baseline.isr_detailed import IsrDetailedRouter
+from repro.baseline.cleanup import DrcCleanup, CleanupReport
+
+__all__ = [
+    "IsrGlobalRouter",
+    "IsrGlobalResult",
+    "IsrDetailedRouter",
+    "DrcCleanup",
+    "CleanupReport",
+]

@@ -1,0 +1,172 @@
+"""Local DRC cleanup (Sec. 5.2 / 5.3).
+
+Both flows of Table I end with this pass: the "BR+ISR" flow hands
+BonnRoute's wiring to it, and the plain "ISR" flow uses it as its own
+finisher.  Only local changes are made:
+
+* **min_segment / min_area**: stub extensions where legally possible
+  (the fixes BonnRoute itself tries to avoid needing, Sec. 5.2 item 2);
+* **spacing**: the cheaper offender (less wiring ripped) is removed and
+  rerouted inside a small window around the violation;
+* remaining violations are reported (the error column of Table I).
+
+As in the paper, the cleanup often takes longer than BonnRoute itself
+despite touching only local windows (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chip.net import Net
+from repro.drc.checker import DrcChecker, DrcReport, Violation
+from repro.droute.area import RoutingArea
+from repro.droute.connect import NetConnector
+from repro.droute.pinaccess import PinAccessPlanner
+from repro.droute.samenet import _try_extend, merge_collinear
+from repro.droute.space import RoutingSpace
+from repro.geometry.rect import Rect
+from repro.grid.shapegrid import RipupLevel
+
+
+class CleanupReport:
+    def __init__(self) -> None:
+        self.fixed_min_segment = 0
+        self.fixed_min_area = 0
+        self.fixed_spacing = 0
+        self.rerouted_nets = 0
+        self.remaining_errors = 0
+        self.runtime = 0.0
+        self.final_report: Optional[DrcReport] = None
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "fixed_min_segment": self.fixed_min_segment,
+            "fixed_min_area": self.fixed_min_area,
+            "fixed_spacing": self.fixed_spacing,
+            "rerouted_nets": self.rerouted_nets,
+            "remaining_errors": self.remaining_errors,
+            "runtime": self.runtime,
+        }
+
+
+class DrcCleanup:
+    """Violation-driven local repair over a routed space."""
+
+    def __init__(self, space: RoutingSpace, max_passes: int = 2) -> None:
+        self.space = space
+        self.chip = space.chip
+        self.max_passes = max_passes
+        self.planner = PinAccessPlanner(space)
+        self.connector = NetConnector(space, planner=self.planner)
+
+    # ------------------------------------------------------------------
+    # Individual fixes
+    # ------------------------------------------------------------------
+    def _fix_min_segment(self, violation: Violation) -> bool:
+        net_name = violation.nets[0]
+        route = self.space.routes.get(net_name)
+        if route is None:
+            return False
+        tau = self.chip.rules.same_net_rules(violation.layer).min_segment_length
+        for stick, _level, type_name in route.wire_items():
+            if stick.layer != violation.layer or stick.is_point:
+                continue
+            if stick.length >= tau:
+                continue
+            if not stick.as_rect().intersects(violation.rect):
+                continue
+            extended = _try_extend(self.space, net_name, type_name, stick, tau)
+            if extended is not None and extended != stick:
+                self.space.remove_wire(net_name, stick)
+                self.space.add_wire(net_name, type_name, extended)
+                return True
+        return False
+
+    def _fix_min_area(self, violation: Violation) -> bool:
+        """Grow the polygon with a stub wire along the preferred axis."""
+        net_name = violation.nets[0]
+        route = self.space.routes.get(net_name)
+        if route is None:
+            return False
+        same_net = self.chip.rules.same_net_rules(violation.layer)
+        deficit_length = max(
+            same_net.min_area // max(self.chip.stack[violation.layer].min_width, 1),
+            same_net.min_segment_length,
+        )
+        for stick, _level, type_name in route.wire_items():
+            if stick.layer != violation.layer:
+                continue
+            if not stick.as_rect().intersects(violation.rect):
+                continue
+            extended = _try_extend(
+                self.space, net_name, type_name, stick,
+                stick.length + deficit_length,
+            )
+            if extended is not None and extended != stick:
+                self.space.remove_wire(net_name, stick)
+                self.space.add_wire(net_name, type_name, extended)
+                return True
+        return False
+
+    def _fix_spacing(self, violation: Violation, nets_by_name) -> bool:
+        """Rip the lighter offender and reroute it in a local window."""
+        candidates = [name for name in violation.nets if name is not None]
+        if not candidates:
+            return False
+        candidates.sort(
+            key=lambda name: self.space.routes[name].wire_length
+            if name in self.space.routes
+            else 0
+        )
+        victim = candidates[0]
+        net = nets_by_name.get(victim)
+        if net is None or victim not in self.space.routes:
+            return False
+        self.connector.rip_net(victim)
+        # Local change only: reroute within a window around the violation,
+        # widened by the net's own bounding box so its pins stay reachable.
+        window = violation.rect.expanded(16 * self.chip.stack[1].pitch)
+        window = window.hull(net.bounding_box().expanded(8 * self.chip.stack[1].pitch))
+        clipped = window.intersection(self.chip.die) or self.chip.die
+        area = RoutingArea.from_boxes(
+            [(z, clipped) for z in self.chip.stack.indices]
+        )
+        connection = self.connector.connect_net(net, area, max_ripup_level=-2)
+        return connection.success
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> CleanupReport:
+        start = time.time()
+        report = CleanupReport()
+        nets_by_name = {net.name: net for net in self.chip.nets}
+        for _pass in range(self.max_passes):
+            checker = DrcChecker(self.space)
+            drc = checker.run(opens=False)
+            if not drc.violations:
+                break
+            progressed = False
+            for violation in drc.violations:
+                if violation.kind == "min_segment":
+                    if self._fix_min_segment(violation):
+                        report.fixed_min_segment += 1
+                        progressed = True
+                elif violation.kind == "min_area":
+                    if self._fix_min_area(violation):
+                        report.fixed_min_area += 1
+                        progressed = True
+                elif violation.kind == "spacing":
+                    if self._fix_spacing(violation, nets_by_name):
+                        report.fixed_spacing += 1
+                        report.rerouted_nets += 1
+                        progressed = True
+            if not progressed:
+                break
+        final = DrcChecker(self.space).run()
+        report.final_report = final
+        report.remaining_errors = final.error_count
+        report.runtime = time.time() - start
+        return report

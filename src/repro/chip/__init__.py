@@ -1,0 +1,27 @@
+"""Chip model: cells, pins, nets, placement, blockages.
+
+The routers operate on a :class:`repro.chip.design.Chip`, which bundles the
+technology (layer stack + rules + wire types) with the placed circuits,
+their pins, the netlist, and blockages such as power rails.  Because the
+paper's IBM designs are proprietary, :mod:`repro.chip.generator` produces
+seeded synthetic instances with the same structural features.
+"""
+
+from repro.chip.net import Net, Pin
+from repro.chip.cells import CellTemplate, CircuitInstance, Orientation, example_cell_library
+from repro.chip.design import Blockage, Chip
+from repro.chip.generator import ChipSpec, generate_chip, TABLE_CHIP_SPECS
+
+__all__ = [
+    "Net",
+    "Pin",
+    "CellTemplate",
+    "CircuitInstance",
+    "Orientation",
+    "example_cell_library",
+    "Blockage",
+    "Chip",
+    "ChipSpec",
+    "generate_chip",
+    "TABLE_CHIP_SPECS",
+]

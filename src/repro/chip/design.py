@@ -1,0 +1,110 @@
+"""The Chip: technology + placement + netlist + blockages.
+
+This is the input object both routers consume.  It owns the layer stack,
+rule set and wire types, the placed circuit instances, the nets, and
+non-circuit blockages (power rails, pre-designed clock wiring, macros -
+Sec. 4.3 notes their regular structure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chip.cells import CircuitInstance
+from repro.chip.net import Net, Pin
+from repro.geometry.rect import Rect
+from repro.tech.layers import LayerStack
+from repro.tech.rules import RuleSet
+from repro.tech.wiring import WireType
+
+
+class Blockage:
+    """A fixed metal shape no wire may violate spacing against."""
+
+    __slots__ = ("layer", "rect", "label")
+
+    def __init__(self, layer: int, rect: Rect, label: str = "blockage") -> None:
+        self.layer = layer
+        self.rect = rect
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"Blockage(M{self.layer}, {self.rect}, {self.label})"
+
+
+class Chip:
+    """A routing instance."""
+
+    def __init__(
+        self,
+        name: str,
+        die: Rect,
+        stack: LayerStack,
+        rules: RuleSet,
+        wire_types: Dict[str, WireType],
+        circuits: Sequence[CircuitInstance] = (),
+        nets: Sequence[Net] = (),
+        blockages: Sequence[Blockage] = (),
+    ) -> None:
+        self.name = name
+        self.die = die
+        self.stack = stack
+        self.rules = rules
+        self.wire_types = dict(wire_types)
+        if "default" not in self.wire_types:
+            raise ValueError("chip needs a 'default' wire type")
+        self.circuits: List[CircuitInstance] = list(circuits)
+        self.nets: List[Net] = list(nets)
+        self.blockages: List[Blockage] = list(blockages)
+        self._nets_by_name: Dict[str, Net] = {net.name: net for net in self.nets}
+        if len(self._nets_by_name) != len(self.nets):
+            raise ValueError("duplicate net names")
+
+    def __repr__(self) -> str:
+        return (
+            f"Chip({self.name}, {len(self.nets)} nets, "
+            f"{len(self.circuits)} circuits, {len(self.stack)} layers)"
+        )
+
+    def net(self, name: str) -> Net:
+        return self._nets_by_name[name]
+
+    def wire_type(self, name: str) -> WireType:
+        return self.wire_types[name]
+
+    def add_net(self, net: Net) -> None:
+        if net.name in self._nets_by_name:
+            raise ValueError(f"duplicate net name {net.name}")
+        self.nets.append(net)
+        self._nets_by_name[net.name] = net
+
+    def all_pins(self) -> Iterable[Pin]:
+        for net in self.nets:
+            yield from net.pins
+
+    def obstruction_shapes(self) -> List[Tuple[int, Rect, Optional[int]]]:
+        """All fixed obstacles: (layer, rect, owner_circuit_id or None).
+
+        Includes circuit-internal obstructions and chip-level blockages;
+        pin shapes are *not* included (they are targets, not obstacles, and
+        the routing-space builder handles them specially).
+        """
+        shapes: List[Tuple[int, Rect, Optional[int]]] = []
+        for circuit in self.circuits:
+            for layer, rect in circuit.obstruction_shapes():
+                shapes.append((layer, rect, circuit.instance_id))
+        for blockage in self.blockages:
+            shapes.append((blockage.layer, blockage.rect, None))
+        return shapes
+
+    def stats(self) -> Dict[str, int]:
+        pin_count = sum(net.terminal_count for net in self.nets)
+        return {
+            "nets": len(self.nets),
+            "pins": pin_count,
+            "circuits": len(self.circuits),
+            "blockages": len(self.blockages),
+            "layers": len(self.stack),
+            "die_width": self.die.width,
+            "die_height": self.die.height,
+        }

@@ -1,0 +1,91 @@
+"""Pins and nets.
+
+A pin is a named set of metal shapes (possibly on several layers and in
+several global routing tiles, Sec. 2.1).  A net is a set of pins that must
+be electrically connected, together with its wire type (standard or
+non-standard width / spacing / layer restriction, Sec. 1.1) and an optional
+criticality weight used by the critical-net prerouting pass (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+
+class Pin:
+    """A net terminal: one or more metal rectangles on wiring layers."""
+
+    __slots__ = ("name", "shapes", "net", "circuit_id")
+
+    def __init__(
+        self,
+        name: str,
+        shapes: Sequence[Tuple[int, Rect]],
+        circuit_id: Optional[int] = None,
+    ) -> None:
+        if not shapes:
+            raise ValueError(f"pin {name} has no shapes")
+        self.name = name
+        self.shapes: List[Tuple[int, Rect]] = list(shapes)
+        self.net: Optional["Net"] = None
+        self.circuit_id = circuit_id
+
+    def __repr__(self) -> str:
+        return f"Pin({self.name}, {len(self.shapes)} shapes)"
+
+    @property
+    def layers(self) -> List[int]:
+        return sorted({layer for layer, _ in self.shapes})
+
+    def bounding_box(self) -> Rect:
+        return Rect.bounding(rect for _, rect in self.shapes)
+
+    def reference_point(self) -> Tuple[int, int]:
+        """A representative point of the pin (centre of its bounding box)."""
+        return self.bounding_box().center
+
+
+class Net:
+    """A set of pins to be connected."""
+
+    __slots__ = ("name", "pins", "wire_type", "weight", "detour_bound")
+
+    def __init__(
+        self,
+        name: str,
+        pins: Sequence[Pin],
+        wire_type: str = "default",
+        weight: float = 1.0,
+        detour_bound: Optional[int] = None,
+    ) -> None:
+        if len(pins) < 2:
+            raise ValueError(f"net {name} needs at least two pins")
+        self.name = name
+        self.pins: List[Pin] = list(pins)
+        for pin in self.pins:
+            pin.net = self
+        self.wire_type = wire_type
+        # weight > 1 marks timing-critical nets routed first (Sec. 5.1);
+        # detour_bound, when set, becomes a per-net resource constraint
+        # bounding the detour over Steiner length (Sec. 2.1).
+        self.weight = weight
+        self.detour_bound = detour_bound
+
+    def __repr__(self) -> str:
+        return f"Net({self.name}, {len(self.pins)} pins)"
+
+    @property
+    def terminal_count(self) -> int:
+        return len(self.pins)
+
+    def terminal_points(self) -> List[Tuple[int, int]]:
+        return [pin.reference_point() for pin in self.pins]
+
+    def bounding_box(self) -> Rect:
+        return Rect.bounding(pin.bounding_box() for pin in self.pins)
+
+    def half_perimeter(self) -> int:
+        box = self.bounding_box()
+        return box.width + box.height

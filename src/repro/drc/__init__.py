@@ -1,0 +1,10 @@
+"""Design rule checking over routed chips.
+
+Counts the error metric of Table I: DRC violations (diff-net spacing,
+same-net minimum area / short edge / minimum segment) plus *opens*
+(connected components minus nets).
+"""
+
+from repro.drc.checker import DrcChecker, DrcReport, Violation
+
+__all__ = ["DrcChecker", "DrcReport", "Violation"]

@@ -1,0 +1,30 @@
+"""Detailed routing (Sec. 4 of the paper).
+
+* :mod:`repro.droute.space` - the routing space: shape grid + distance
+  rule checker + track graph + fast grid, with wire/via insertion and
+  removal;
+* :mod:`repro.droute.route` - routed-net containers (stick figures + vias);
+* :mod:`repro.droute.pathsearch` - the interval-based on-track Dijkstra
+  (Algorithm 4) and the node-based reference implementation;
+* :mod:`repro.droute.future_cost` - the future costs pi_H and pi_P;
+* :mod:`repro.droute.pinaccess` - off-track pin access with catalogues
+  and conflict-free solutions (Sec. 4.3);
+* :mod:`repro.droute.samenet` - same-net rule postprocessing (Sec. 3.7);
+* :mod:`repro.droute.connect` - the net connection procedure with ripup
+  sequences (Sec. 4.4);
+* :mod:`repro.droute.partition` - the region-partitioning scheduler
+  modelling the paper's shared-memory parallelization (Sec. 5.1);
+* :mod:`repro.droute.router` - the DetailedRouter facade.
+"""
+
+from repro.droute.route import NetRoute, ViaInstance
+from repro.droute.space import RoutingSpace
+from repro.droute.router import DetailedRouter, DetailedRoutingResult
+
+__all__ = [
+    "NetRoute",
+    "ViaInstance",
+    "RoutingSpace",
+    "DetailedRouter",
+    "DetailedRoutingResult",
+]

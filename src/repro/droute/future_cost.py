@@ -1,0 +1,216 @@
+"""Future costs for the on-track path search (Sec. 4.1).
+
+A future cost pi is a consistent potential: c_pi((v, w)) = c((v, w)) -
+pi(v) + pi(w) >= 0 for every edge and pi(t) = 0 for every target.  Then
+pi(v) lower-bounds the distance from v to the target set, and Dijkstra on
+the reduced costs labels far fewer vertices.
+
+* ``FutureCostH`` (Hetzel): l1 distance to the targets' bounding
+  rectangles plus the cheapest via chain to a target layer.  Independent
+  of the graph's blockage structure.
+* ``FutureCostP`` (Peyer et al.): shortest-path distances in a coarse
+  supergraph that keeps large blockages, always >= pi_H; used when the
+  global route already contains a large detour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.droute.area import RoutingArea
+from repro.geometry.rect import Rect
+from repro.grid.trackgraph import TrackGraph, Vertex
+from repro.util.heap import AddressableHeap
+
+
+class SearchCosts:
+    """Edge cost parameters of the track-graph metric (Sec. 4.1).
+
+    Wires in preferred direction cost their l1 length; jogs cost
+    ``jog_factor`` times their length (beta_z); a via costs ``via_cost``
+    (gamma).  A single factor per layer kind keeps the example technology
+    simple; per-layer overrides are possible via the dicts.
+    """
+
+    def __init__(
+        self,
+        jog_factor: int = 2,
+        via_cost: int = 160,
+        jog_factor_per_layer: Optional[Dict[int, int]] = None,
+        via_cost_per_layer: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if jog_factor < 1:
+            raise ValueError("jog factor below 1 breaks the l1 lower bound")
+        if via_cost < 0:
+            raise ValueError("via cost must be non-negative")
+        self.jog_factor = jog_factor
+        self.via_cost = via_cost
+        self._jog_per_layer = dict(jog_factor_per_layer or {})
+        self._via_per_layer = dict(via_cost_per_layer or {})
+
+    def jog(self, layer: int, length: int) -> int:
+        return self._jog_per_layer.get(layer, self.jog_factor) * length
+
+    def wire(self, layer: int, length: int) -> int:
+        return length
+
+    def via(self, via_layer: int) -> int:
+        return self._via_per_layer.get(via_layer, self.via_cost)
+
+    def edge_cost(self, kind: str, layer_or_via: int, length: int) -> int:
+        if kind == "wire":
+            return self.wire(layer_or_via, length)
+        if kind == "jog":
+            return self.jog(layer_or_via, length)
+        return self.via(layer_or_via)
+
+
+def _point_rect_l1(x: int, y: int, rect: Rect) -> int:
+    dx = max(rect.x_lo - x, 0, x - rect.x_hi)
+    dy = max(rect.y_lo - y, 0, y - rect.y_hi)
+    return dx + dy
+
+
+class FutureCostH:
+    """pi_H: l1 distance to target rectangles + cheapest via chain.
+
+    ``lb_wire(x, y)`` is the minimum l1 distance from (x, y) to any
+    target's projection; ``lb_via(z)`` the minimum via-chain cost from
+    layer z to a layer containing targets.  Computation is
+    O(|T_rect|) per query; with the small target-rect counts of routing
+    connections this matches the paper's point-location bound in practice.
+    """
+
+    def __init__(
+        self,
+        graph: TrackGraph,
+        targets: Iterable[Vertex],
+        costs: SearchCosts,
+    ) -> None:
+        self.graph = graph
+        self.costs = costs
+        self.target_rects: List[Rect] = []
+        target_layers = set()
+        for vertex in targets:
+            x, y, z = graph.position(vertex)
+            self.target_rects.append(Rect(x, y, x, y))
+            target_layers.add(z)
+        if not self.target_rects:
+            raise ValueError("future cost needs at least one target")
+        self.target_rects = _coalesce_rects(self.target_rects)
+        self._lb_via = self._via_lower_bounds(target_layers)
+
+    def _via_lower_bounds(self, target_layers) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for z in self.graph.stack.indices:
+            best = None
+            for zt in target_layers:
+                lo, hi = min(z, zt), max(z, zt)
+                chain = sum(self.costs.via(v) for v in range(lo, hi))
+                best = chain if best is None else min(best, chain)
+            out[z] = best if best is not None else 0
+        return out
+
+    def __call__(self, vertex: Vertex) -> int:
+        x, y, z = self.graph.position(vertex)
+        lb_wire = min(_point_rect_l1(x, y, rect) for rect in self.target_rects)
+        return lb_wire + self._lb_via[z]
+
+    def lb_wire(self, x: int, y: int) -> int:
+        return min(_point_rect_l1(x, y, rect) for rect in self.target_rects)
+
+
+def _coalesce_rects(rects: List[Rect]) -> List[Rect]:
+    """Merge target point-rects that touch into fewer boxes (keeps the
+    lower bound valid: a bigger box only lowers distances)."""
+    rects = sorted(rects, key=lambda r: (r.y_lo, r.x_lo))
+    merged: List[Rect] = []
+    for rect in rects:
+        if merged and merged[-1].expanded(1).intersects(rect):
+            merged[-1] = merged[-1].hull(rect)
+        else:
+            merged.append(rect)
+    return merged
+
+
+UNREACHABLE = 1 << 50
+
+
+class FutureCostP:
+    """pi_P: blockage-aware future cost (Peyer et al. [2009]).
+
+    Computes exact backward distances from the target set in a
+    *supergraph* G' of the search graph: the same track graph and edge
+    costs, but with only the *large* blockages kept (obstacles whose
+    smaller dimension is below ``small_blockage_threshold`` are ignored).
+    Every edge of the real search graph exists in G' with equal cost, so
+    dist_{G'}(v, T) is a consistent potential with dist_{G'} <= dist_G,
+    and by construction pi_P >= pi_H would hold if G' had no extra
+    freedom - we return max(pi_H, dist_{G'}) to guarantee it.
+
+    As the paper notes, computing pi_P costs a full (cheap-usability)
+    Dijkstra over the routing area, so it is only worth it for
+    connections whose global route already contains a large detour.
+    """
+
+    def __init__(
+        self,
+        graph: TrackGraph,
+        targets: Sequence[Vertex],
+        costs: SearchCosts,
+        area: RoutingArea,
+        large_blockages: Sequence[Tuple[int, Rect]],
+        small_blockage_threshold: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.pi_h = FutureCostH(graph, targets, costs)
+        self.costs = costs
+        if small_blockage_threshold <= 0:
+            stack = graph.stack
+            small_blockage_threshold = 4 * stack[stack.bottom].pitch
+        self._blocked: Dict[int, List[Rect]] = {}
+        for layer, rect in large_blockages:
+            if min(rect.width, rect.height) >= small_blockage_threshold:
+                self._blocked.setdefault(layer, []).append(rect)
+        self._dist: Dict[Vertex, int] = {}
+        self._build(targets, area)
+
+    def _vertex_open(self, vertex: Vertex, area: RoutingArea) -> bool:
+        x, y, z = self.graph.position(vertex)
+        if not area.contains(x, y, z):
+            return False
+        for rect in self._blocked.get(z, ()):
+            # Interior containment: wires may run on blockage borders.
+            if rect.x_lo < x < rect.x_hi and rect.y_lo < y < rect.y_hi:
+                return False
+        return True
+
+    def _build(self, targets: Sequence[Vertex], area: RoutingArea) -> None:
+        graph = self.graph
+        heap = AddressableHeap()
+        dist = self._dist
+        for vertex in targets:
+            dist[vertex] = 0
+            heap.push(vertex, 0)
+        while heap:
+            vertex, d = heap.pop()
+            if d > dist.get(vertex, UNREACHABLE):
+                continue
+            z, _t, _c = vertex
+            for neighbour, kind, length in graph.neighbors(vertex):
+                if not self._vertex_open(neighbour, area):
+                    continue
+                layer_or_via = min(z, neighbour[0]) if kind == "via" else z
+                nd = d + self.costs.edge_cost(kind, layer_or_via, length)
+                if nd < dist.get(neighbour, UNREACHABLE):
+                    dist[neighbour] = nd
+                    heap.push(neighbour, nd)
+
+    def __call__(self, vertex: Vertex) -> int:
+        h = self.pi_h(vertex)
+        d = self._dist.get(vertex)
+        if d is None:
+            # Not reachable even ignoring small blockages: the real search
+            # cannot reach the targets from here either.
+            return UNREACHABLE
+        return max(h, d)

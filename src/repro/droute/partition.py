@@ -1,0 +1,168 @@
+"""Region partitioning for (modelled) parallel detailed routing (Sec. 5.1).
+
+BonnRoute's detailed routing parallelizes by partitioning the chip area
+into regions assigned to threads; each thread may only make changes that
+cannot affect other threads' regions, so nets crossing region borders
+must wait for later rounds with fewer, larger regions.  The partition
+sequence balances the estimated workload (pin count) per region and
+shrinks the region count geometrically until a single region remains.
+
+This module reproduces the partitioning logic; execution is serial in
+Python, but the round structure (which nets become routable when) and the
+balance statistics are the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chip.design import Chip
+from repro.chip.net import Net
+from repro.geometry.rect import Rect
+
+
+class PartitionRound:
+    """One round: disjoint regions, each routed by one (modelled) thread."""
+
+    def __init__(self, regions: List[Rect], safety_margin: int) -> None:
+        self.regions = regions
+        #: Nets must stay this far inside a region to be routable in it
+        #: (changes near borders could affect neighbouring threads).
+        self.safety_margin = safety_margin
+
+    def region_of(self, box: Rect) -> Optional[int]:
+        """Region index whose safe interior contains ``box``, or None."""
+        for index, region in enumerate(self.regions):
+            safe = Rect(
+                region.x_lo + self.safety_margin if region.x_lo > 0 else region.x_lo,
+                region.y_lo + self.safety_margin if region.y_lo > 0 else region.y_lo,
+                region.x_hi - self.safety_margin,
+                region.y_hi - self.safety_margin,
+            ) if region.width > 2 * self.safety_margin and region.height > 2 * self.safety_margin else region
+            if safe.contains_rect(box):
+                return index
+        return None
+
+
+def _balanced_cuts(weights: Sequence[int], parts: int) -> List[int]:
+    """Cut positions splitting ``weights`` into ``parts`` balanced chunks.
+
+    Greedy prefix-sum splitting: each cut is placed where the running
+    total first reaches the next multiple of total/parts.
+    """
+    total = sum(weights)
+    if total == 0 or parts <= 1:
+        return []
+    cuts = []
+    target = total / parts
+    running = 0
+    next_threshold = target
+    for index, weight in enumerate(weights):
+        running += weight
+        if running >= next_threshold and len(cuts) < parts - 1:
+            cuts.append(index + 1)
+            next_threshold += target
+    return cuts
+
+
+def partition_sequence(
+    chip: Chip,
+    threads: int,
+    rounds: Optional[int] = None,
+    safety_margin: Optional[int] = None,
+) -> List[PartitionRound]:
+    """The shrinking partition sequence of Sec. 5.1.
+
+    Round k uses roughly threads / 2^k regions, cut along the x-axis at
+    pin-weight-balanced positions; the final round is a single region so
+    every remaining connection can be closed.
+    """
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    if safety_margin is None:
+        bottom = chip.stack[chip.stack.bottom]
+        safety_margin = 8 * bottom.pitch
+    # Pin-count histogram along x (workload estimate).
+    buckets = 64
+    die = chip.die
+    width = max(die.width, 1)
+    weights = [0] * buckets
+    for pin in chip.all_pins():
+        x = pin.reference_point()[0]
+        bucket = min(buckets - 1, max(0, (x - die.x_lo) * buckets // width))
+        weights[bucket] += 1
+    sequence: List[PartitionRound] = []
+    region_count = threads
+    while region_count > 1:
+        cuts = _balanced_cuts(weights, region_count)
+        borders = (
+            [die.x_lo]
+            + [die.x_lo + cut * width // buckets for cut in cuts]
+            + [die.x_hi]
+        )
+        regions = [
+            Rect(borders[i], die.y_lo, borders[i + 1], die.y_hi)
+            for i in range(len(borders) - 1)
+            if borders[i] < borders[i + 1]
+        ]
+        sequence.append(PartitionRound(regions, safety_margin))
+        region_count //= 2
+    sequence.append(PartitionRound([die], 0))
+    if rounds is not None:
+        sequence = sequence[-rounds:]
+    return sequence
+
+
+def assign_nets_to_rounds(
+    chip: Chip,
+    sequence: Sequence[PartitionRound],
+    nets: Optional[Sequence[Net]] = None,
+) -> List[List[Tuple[int, Net]]]:
+    """Assign each net to the earliest round whose safe region contains it.
+
+    Returns per round a list of (region_index, net); within a round,
+    different regions model concurrent threads.  Every net is routable by
+    the final single-region round at the latest.
+    """
+    if nets is None:
+        nets = chip.nets
+    remaining = list(nets)
+    assignment: List[List[Tuple[int, Net]]] = []
+    for round_index, part in enumerate(sequence):
+        this_round: List[Tuple[int, Net]] = []
+        still_remaining = []
+        last_round = round_index == len(sequence) - 1
+        for net in remaining:
+            box = net.bounding_box()
+            region = part.region_of(box)
+            if region is not None or last_round:
+                this_round.append((region if region is not None else 0, net))
+            else:
+                still_remaining.append(net)
+        assignment.append(this_round)
+        remaining = still_remaining
+    return assignment
+
+
+def balance_report(
+    assignment: Sequence[Sequence[Tuple[int, Net]]]
+) -> List[Dict[str, float]]:
+    """Per-round workload balance: pins per region vs the ideal share."""
+    report = []
+    for round_nets in assignment:
+        per_region: Dict[int, int] = {}
+        for region, net in round_nets:
+            per_region[region] = per_region.get(region, 0) + net.terminal_count
+        if not per_region:
+            report.append({"regions": 0, "max_share": 0.0, "nets": 0})
+            continue
+        total = sum(per_region.values())
+        ideal = total / max(len(per_region), 1)
+        report.append(
+            {
+                "regions": len(per_region),
+                "max_share": max(per_region.values()) / ideal if ideal else 0.0,
+                "nets": len(round_nets),
+            }
+        )
+    return report

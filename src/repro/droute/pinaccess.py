@@ -1,0 +1,520 @@
+"""Off-track pin access (Sec. 4.3, Fig. 7).
+
+Most pins are not aligned with the track grid.  For each pin we build a
+*catalogue* of DRC-clean tau-feasible access paths (via the blockage grid
+of Sec. 3.8) connecting the pin to on-track points within a small radius.
+Per circuit, one primary access path per pin is chosen such that the set
+forms a *conflict-free solution* - pairwise DRC-clean - using a
+branch-and-bound enumeration ("destructive bounding") that scores
+solutions by endpoint spreading, blocked tracks, feasible on-track
+continuations and length.  Chosen paths are reserved in the routing space
+before routing starts so later wires cannot invalidate them.
+
+Because placed circuits come from few library prototypes, catalogues are
+cached per *circuit class*: template, orientation, track phase, and the
+neighbourhood's foreign geometry (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chip.net import Pin
+from repro.droute.route import ViaInstance
+from repro.droute.space import RoutingSpace
+from repro.geometry.l1 import rect_l2_gap, run_length
+from repro.geometry.rect import Rect
+from repro.grid.blockgrid import BlockageGrid
+from repro.grid.shapegrid import RipupLevel
+from repro.grid.trackgraph import Vertex
+from repro.tech.wiring import ShapeKind, StickFigure
+
+
+class AccessPath:
+    """One off-track connection from a pin to an on-track endpoint."""
+
+    __slots__ = (
+        "pin_name", "net_name", "layer", "points", "via", "endpoint",
+        "length", "blockers",
+    )
+
+    def __init__(
+        self,
+        pin_name: str,
+        net_name: str,
+        layer: int,
+        points: List[Tuple[int, int]],
+        via: Optional[ViaInstance],
+        endpoint: Vertex,
+        length: int,
+        blockers: Optional[Set[str]] = None,
+    ) -> None:
+        self.pin_name = pin_name
+        self.net_name = net_name
+        #: Layer the polyline runs on (the pin's layer).
+        self.layer = layer
+        #: Polyline from the pin to the endpoint's (x, y).
+        self.points = points
+        #: Optional via lifting the endpoint to the layer above.
+        self.via = via
+        #: Track-graph vertex where on-track routing continues.
+        self.endpoint = endpoint
+        self.length = length
+        #: Foreign nets whose wiring must be ripped out before this path
+        #: is legal (fallback jumpers over removable reservations).
+        self.blockers: Set[str] = blockers or set()
+
+    def __repr__(self) -> str:
+        return f"AccessPath({self.pin_name} -> {self.endpoint}, len={self.length})"
+
+    def sticks(self) -> List[StickFigure]:
+        out = []
+        for (x0, y0), (x1, y1) in zip(self.points, self.points[1:]):
+            out.append(StickFigure(self.layer, x0, y0, x1, y1))
+        if not out and self.points:
+            x, y = self.points[0]
+            out.append(StickFigure(self.layer, x, y, x, y))
+        return out
+
+    def shapes(self, space: RoutingSpace, wire_type_name: str) -> List[Tuple[int, Rect]]:
+        """Metal rectangles (wiring layers only) the path induces."""
+        wire_type = space.chip.wire_type(wire_type_name)
+        shapes = []
+        for stick in self.sticks():
+            rect, _cls, _kind = wire_type.wire_shape(stick, space.chip.stack)
+            shapes.append((stick.layer, rect))
+        if self.via is not None:
+            model = wire_type.via_model(self.via.via_layer)
+            for kind, layer, rect, _cls, _sk in model.shapes(
+                self.via.x, self.via.y, self.via.via_layer
+            ):
+                if kind == "wiring":
+                    shapes.append((layer, rect))
+        return shapes
+
+
+class PinAccessPlanner:
+    """Catalogue construction + conflict-free selection + reservation."""
+
+    def __init__(
+        self,
+        space: RoutingSpace,
+        wire_type_name: str = "default",
+        radius_pitches: int = 4,
+        max_endpoints: int = 10,
+        max_paths: int = 6,
+    ) -> None:
+        self.space = space
+        self.wire_type_name = wire_type_name
+        self.radius_pitches = radius_pitches
+        self.max_endpoints = max_endpoints
+        self.max_paths = max_paths
+        #: Catalogue cache per circuit class (Sec. 4.3); key includes the
+        #: track phase and the neighbourhood geometry.
+        self._class_cache: Dict[Tuple, Dict[str, List[AccessPath]]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Catalogue construction
+    # ------------------------------------------------------------------
+    def _obstacles_near(self, pin: Pin, layer: int, window: Rect) -> List[Rect]:
+        """Foreign shapes near the pin, expanded by wire clearance."""
+        chip = self.space.chip
+        wire_type = chip.wire_type(self.wire_type_name)
+        model = wire_type.preferred_model(layer)
+        wire_width = model.shape_class.rule_width
+        rule = chip.rules.spacing_rule(layer)
+        net_name = pin.net.name if pin.net is not None else None
+        obstacles = []
+        for entry in self.space.shape_grid.query("wiring", layer, window):
+            if entry.net == net_name:
+                continue
+            run = max(entry.rect.width, entry.rect.height)
+            # Centerline clearance: half width + spacing + the pessimistic
+            # line-end extension the final metal will carry (Fig. 2).
+            clearance = (
+                wire_width // 2
+                + rule.spacing(wire_width, entry.rule_width, run)
+                + model.line_end_extension
+            )
+            obstacles.append(entry.rect.expanded(clearance))
+        return obstacles
+
+    def _endpoint_candidates(self, pin: Pin, window: Rect) -> List[Vertex]:
+        graph = self.space.graph
+        layers = []
+        pin_layer = pin.layers[0]
+        layers.append(pin_layer)
+        if graph.stack.has_layer(pin_layer + 1):
+            layers.append(pin_layer + 1)
+        cx, cy = pin.reference_point()
+        candidates: List[Tuple[int, Vertex]] = []
+        for z in layers:
+            for vertex in graph.vertices_in_rect(
+                z, window.x_lo, window.y_lo, window.x_hi, window.y_hi
+            ):
+                x, y, _ = graph.position(vertex)
+                candidates.append((abs(x - cx) + abs(y - cy), vertex))
+        candidates.sort()
+        return [v for _, v in candidates[: self.max_endpoints]]
+
+    def build_catalogue(
+        self, pin: Pin, radius_pitches: Optional[int] = None
+    ) -> List[AccessPath]:
+        """DRC-clean tau-feasible access paths for one pin."""
+        chip = self.space.chip
+        pin_layer = pin.layers[0]
+        pitch = chip.stack[pin_layer].pitch
+        radius = (radius_pitches or self.radius_pitches) * pitch
+        bbox = pin.bounding_box()
+        window = bbox.expanded(radius)
+        tau = chip.rules.same_net_rules(pin_layer).min_segment_length
+        obstacles = self._obstacles_near(pin, pin_layer, window.expanded(tau))
+        endpoints = self._endpoint_candidates(pin, window)
+        if not endpoints:
+            return []
+        net_name = pin.net.name if pin.net is not None else ""
+        source = pin.reference_point()
+        graph = self.space.graph
+        paths: List[AccessPath] = []
+        wire_type = chip.wire_type(self.wire_type_name)
+        for endpoint in endpoints:
+            ex, ey, ez = graph.position(endpoint)
+            grid = BlockageGrid(
+                obstacles, tau, window.expanded(tau), [source, (ex, ey)]
+            )
+            result = grid.shortest_path([source], [(ex, ey)])
+            if result is None:
+                continue
+            length, points = result
+            via: Optional[ViaInstance] = None
+            if ez == pin_layer + 1:
+                if not wire_type.has_via_layer(pin_layer):
+                    continue
+                via = ViaInstance(pin_layer, ex, ey)
+                check = self.space.check_via(self.wire_type_name, via, net_name)
+                if not check.legal:
+                    continue
+            paths.append(
+                AccessPath(pin.name, net_name, pin_layer, points, via, endpoint, length)
+            )
+            if len(paths) >= self.max_paths:
+                break
+        paths.sort(key=lambda p: p.length)
+        return paths
+
+    def jumper_fallback(self, pin: Pin, require_legal: bool = True) -> List[AccessPath]:
+        """Last-resort pin access: a short L-shaped jumper to the nearest
+        usable vertices, ignoring tau (the same-net postprocess and the
+        external DRC cleanup handle the residue, Sec. 5.2).
+
+        With ``require_legal=False`` even diff-net-violating jumpers are
+        returned: conceding a violation to the cleanup step beats leaving
+        the pin open (the error counts of Table I include both).
+        """
+        chip = self.space.chip
+        pin_layer = pin.layers[0]
+        pitch = chip.stack[pin_layer].pitch
+        window = pin.bounding_box().expanded(6 * pitch)
+        endpoints = self._endpoint_candidates(pin, window)
+        net_name = pin.net.name if pin.net is not None else ""
+        cx, cy = pin.reference_point()
+        graph = self.space.graph
+        wire_type = chip.wire_type(self.wire_type_name)
+        paths: List[AccessPath] = []
+        rippable: List[AccessPath] = []
+        conceded: List[AccessPath] = []
+        for endpoint in endpoints:
+            ex, ey, ez = graph.position(endpoint)
+            for corner in ((ex, cy), (cx, ey)):
+                points = [(cx, cy), corner, (ex, ey)]
+                sticks = [
+                    StickFigure(pin_layer, a[0], a[1], b[0], b[1])
+                    for a, b in zip(points, points[1:])
+                    if a != b
+                ]
+                checks = [
+                    self.space.check_wire(self.wire_type_name, stick, net_name)
+                    for stick in sticks
+                ]
+                via: Optional[ViaInstance] = None
+                if ez == pin_layer + 1:
+                    if not wire_type.has_via_layer(pin_layer):
+                        continue
+                    via = ViaInstance(pin_layer, ex, ey)
+                    checks.append(
+                        self.space.check_via(self.wire_type_name, via, net_name)
+                    )
+                legal = all(c.legal for c in checks)
+                if require_legal and not legal:
+                    continue
+                blockers: Set[str] = set()
+                hits_fixed = any(
+                    not c.legal and c.max_ripup_needed < 0 for c in checks
+                )
+                if not legal and not hits_fixed:
+                    # Jumpers over removable wiring: the connector rips
+                    # the blocker nets instead of conceding a violation.
+                    for c in checks:
+                        blockers |= c.blockers
+                    blockers.discard(net_name)
+                length = abs(ex - cx) + abs(ey - cy)
+                path = AccessPath(
+                    pin.name, net_name, pin_layer, points, via, endpoint,
+                    length, blockers,
+                )
+                if legal:
+                    paths.append(path)
+                elif hits_fixed:
+                    conceded.append(path)
+                else:
+                    rippable.append(path)
+                break
+            if len(paths) >= 2:
+                break
+        if paths:
+            return paths
+        if rippable:
+            return rippable[:2]
+        # Very last resort: concede a violation to the DRC cleanup rather
+        # than leaving the pin open (both enter Table I's error count).
+        return conceded[:1]
+
+    # ------------------------------------------------------------------
+    # Circuit-class caching
+    # ------------------------------------------------------------------
+    def _neighbourhood_key(self, circuit, window: Rect) -> Tuple:
+        entries = []
+        for layer in (1, 2):
+            if not self.space.chip.stack.has_layer(layer):
+                continue
+            for entry in self.space.shape_grid.query("wiring", layer, window):
+                entries.append(
+                    (
+                        layer,
+                        entry.rect.x_lo - circuit.x,
+                        entry.rect.y_lo - circuit.y,
+                        entry.rect.x_hi - circuit.x,
+                        entry.rect.y_hi - circuit.y,
+                        entry.shape_kind,
+                        entry.net is not None,
+                    )
+                )
+        return tuple(sorted(entries))
+
+    def _track_phase(self, circuit) -> Tuple:
+        graph = self.space.graph
+        phases = []
+        for z in (1, 2):
+            if not graph.stack.has_layer(z):
+                continue
+            pitch = graph.stack[z].pitch
+            tracks = graph.tracks[z]
+            anchor = tracks[0] if tracks else 0
+            origin = circuit.y if graph.stack.direction(z).value == "horizontal" else circuit.x
+            phases.append((z, (origin - anchor) % pitch))
+        return tuple(phases)
+
+    def circuit_catalogues(
+        self, circuit, pins: Sequence[Pin]
+    ) -> Dict[str, List[AccessPath]]:
+        """Catalogues for all pins of one placed circuit, class-cached."""
+        window = circuit.bounding_box().expanded(
+            self.radius_pitches * self.space.chip.stack[1].pitch
+        )
+        key = (
+            circuit.circuit_class_key(),
+            self._track_phase(circuit),
+            self._neighbourhood_key(circuit, window),
+            tuple(sorted(pin.name.split("/")[-1] for pin in pins)),
+        )
+        cached = self._class_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            # Translate the cached relative solution to this instance.
+            out: Dict[str, List[AccessPath]] = {}
+            by_template_pin: Dict[str, Pin] = {
+                pin.name.split("/")[-1]: pin for pin in pins
+            }
+            for template_pin, rel_paths in cached.items():
+                pin = by_template_pin.get(template_pin)
+                if pin is None:
+                    continue
+                out[pin.name] = [
+                    self._translate(rel, circuit, pin) for rel in rel_paths
+                ]
+                out[pin.name] = [p for p in out[pin.name] if p is not None]
+            return out
+        self.cache_misses += 1
+        catalogues: Dict[str, List[AccessPath]] = {}
+        relative: Dict[str, List[AccessPath]] = {}
+        for pin in pins:
+            paths = self.build_catalogue(pin)
+            catalogues[pin.name] = paths
+            relative[pin.name.split("/")[-1]] = paths
+        self._class_cache[key] = relative
+        return catalogues
+
+    def _translate(self, path: AccessPath, circuit, pin: Pin) -> Optional[AccessPath]:
+        """Re-anchor a cached path for another instance of the class.
+
+        Cached instances share exact geometry relative to the circuit, so
+        translation amounts to re-deriving the endpoint vertex; if the
+        vertex does not exist here (different track cut), drop the path.
+        """
+        graph = self.space.graph
+        ex, ey, ez = graph.position(path.endpoint)
+        vertex = graph.vertex_at(ex, ey, ez)
+        if vertex is None:
+            return None
+        return AccessPath(
+            pin.name,
+            pin.net.name if pin.net is not None else "",
+            path.layer,
+            list(path.points),
+            path.via,
+            vertex,
+            path.length,
+        )
+
+    # ------------------------------------------------------------------
+    # Conflict-free selection (destructive bounding)
+    # ------------------------------------------------------------------
+    def paths_conflict(self, a: AccessPath, b: AccessPath) -> bool:
+        """Pairwise diff-net DRC check between two access paths."""
+        if a.net_name == b.net_name:
+            return False
+        shapes_a = a.shapes(self.space, self.wire_type_name)
+        shapes_b = b.shapes(self.space, self.wire_type_name)
+        rules = self.space.chip.rules
+        for layer_a, rect_a in shapes_a:
+            for layer_b, rect_b in shapes_b:
+                if layer_a != layer_b:
+                    continue
+                rule = rules.spacing_rule(layer_a)
+                width = min(rect_a.width, rect_a.height)
+                width_b = min(rect_b.width, rect_b.height)
+                required = rule.spacing(width, width_b, run_length(rect_a, rect_b))
+                if rect_l2_gap(rect_a, rect_b) < required:
+                    return True
+        return False
+
+    def _score(self, chosen: Sequence[AccessPath]) -> float:
+        """Lower is better: length, endpoint crowding, blocked tracks,
+        missing continuations (the Sec. 4.3 criteria)."""
+        total = sum(p.length for p in chosen)
+        crowding = 0.0
+        for i, a in enumerate(chosen):
+            ax, ay, _ = self.space.graph.position(a.endpoint)
+            for b in chosen[i + 1:]:
+                bx, by, _ = self.space.graph.position(b.endpoint)
+                d = abs(ax - bx) + abs(ay - by)
+                pitch = self.space.chip.stack[1].pitch
+                if d < 2 * pitch:
+                    crowding += (2 * pitch - d)
+        continuation_penalty = 0.0
+        for path in chosen:
+            usable_directions = 0
+            for shape_type in ("wire", "jog"):
+                if self.space.fast_grid.vertex_usable(
+                    self.wire_type_name, path.endpoint, shape_type
+                ):
+                    usable_directions += 1
+            continuation_penalty += (2 - usable_directions) * 100
+        blocked = 0
+        for path in chosen:
+            blocked += max(0, len(path.points) - 2) * 50  # bends block tracks
+        return total + 2.0 * crowding + continuation_penalty + blocked
+
+    #: Score penalty for leaving a pin without a reserved access path:
+    #: dominates every geometric score term, so the branch-and-bound
+    #: maximizes pin coverage first and only then optimizes quality.
+    UNASSIGNED_PENALTY = 1_000_000.0
+
+    def conflict_free_solution(
+        self, catalogues: Dict[str, List[AccessPath]]
+    ) -> Optional[Dict[str, AccessPath]]:
+        """Branch-and-bound over one path per pin, pairwise conflict-free.
+
+        Every pin additionally has the "unassigned" option at a penalty
+        dominating all geometric terms, so the enumeration finds a
+        maximum-coverage conflict-free solution and, among those, the
+        best-scored one (destructive bounding prunes the search).
+        Fig. 7's greedy failure mode cannot occur: whenever a full
+        conflict-free solution exists, it is found.
+        """
+        pin_names = sorted(catalogues, key=lambda name: len(catalogues[name]))
+        if not pin_names or all(not catalogues[name] for name in pin_names):
+            return None
+        best: List[Optional[Dict[str, AccessPath]]] = [None]
+        best_score = [float("inf")]
+
+        def lower_bound(chosen: List[Optional[AccessPath]], index: int) -> float:
+            value = sum(
+                self.UNASSIGNED_PENALTY if path is None else path.length
+                for path in chosen
+            )
+            for name in pin_names[index:]:
+                options = catalogues[name]
+                value += min(p.length for p in options) if options else (
+                    self.UNASSIGNED_PENALTY
+                )
+            return value
+
+        def recurse(index: int, chosen: List[Optional[AccessPath]]) -> None:
+            if lower_bound(chosen, index) >= best_score[0]:
+                return  # destructive bounding
+            if index == len(pin_names):
+                assigned = [p for p in chosen if p is not None]
+                score = self._score(assigned) + self.UNASSIGNED_PENALTY * (
+                    len(chosen) - len(assigned)
+                )
+                if score < best_score[0]:
+                    best_score[0] = score
+                    best[0] = {
+                        name: path
+                        for name, path in zip(pin_names, chosen)
+                        if path is not None
+                    }
+                return
+            name = pin_names[index]
+            for path in catalogues[name]:
+                if any(
+                    self.paths_conflict(path, other)
+                    for other in chosen
+                    if other is not None
+                ):
+                    continue
+                chosen.append(path)
+                recurse(index + 1, chosen)
+                chosen.pop()
+            # The unassigned branch (explored last: it can never beat a
+            # same-prefix assignment on score).
+            chosen.append(None)
+            recurse(index + 1, chosen)
+            chosen.pop()
+
+        recurse(0, [])
+        return best[0] if best[0] else None
+
+    # ------------------------------------------------------------------
+    # Reservation (Sec. 4.3: add primary paths before routing starts)
+    # ------------------------------------------------------------------
+    def reserve(self, path: AccessPath) -> None:
+        for stick in path.sticks():
+            self.space.add_wire(
+                path.net_name,
+                self.wire_type_name,
+                stick,
+                ripup_level=int(RipupLevel.RESERVED),
+                off_track=True,
+            )
+        if path.via is not None:
+            self.space.add_via(
+                path.net_name,
+                self.wire_type_name,
+                path.via,
+                ripup_level=int(RipupLevel.RESERVED),
+                off_track=True,
+            )

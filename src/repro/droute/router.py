@@ -1,0 +1,212 @@
+"""Detailed router facade.
+
+Orchestrates the full detailed-routing flow of the paper:
+
+1. pin access preprocessing: per-circuit conflict-free access paths are
+   computed and reserved (Sec. 4.3);
+2. critical nets (weight > 1) route first (Sec. 5.1);
+3. remaining nets route in partition rounds (Sec. 5.1), each restricted
+   to its global-routing corridor when one is given (Sec. 4.4);
+4. failed nets are retried with growing ripup effort and expanded
+   routing areas; nets ripped out by others re-enter the queue.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chip.design import Chip
+from repro.chip.net import Net
+from repro.droute.area import RoutingArea
+from repro.droute.connect import ConnectionStats, NetConnector
+from repro.droute.future_cost import SearchCosts
+from repro.droute.partition import assign_nets_to_rounds, partition_sequence
+from repro.droute.pinaccess import PinAccessPlanner
+from repro.droute.space import RoutingSpace
+from repro.grid.shapegrid import RipupLevel
+
+
+class DetailedRoutingResult:
+    """Outcome and metrics of a detailed-routing run."""
+
+    def __init__(self, chip: Chip) -> None:
+        self.chip = chip
+        self.routed: Set[str] = set()
+        self.failed: Set[str] = set()
+        self.open_connections = 0
+        self.wire_length = 0
+        self.via_count = 0
+        self.runtime = 0.0
+        self.stats = ConnectionStats()
+        self.ripup_events = 0
+        self.access_cache_hits = 0
+        self.access_cache_misses = 0
+
+    @property
+    def opens(self) -> int:
+        """Connected components minus nets (the error metric of Table I)."""
+        return self.open_connections
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "nets": len(self.chip.nets),
+            "routed": len(self.routed),
+            "failed": len(self.failed),
+            "opens": self.open_connections,
+            "wire_length": self.wire_length,
+            "vias": self.via_count,
+            "runtime": self.runtime,
+            "searches": self.stats.searches,
+            "ripup_events": self.ripup_events,
+        }
+
+
+class DetailedRouter:
+    """Track-based detailed router (Sec. 4)."""
+
+    def __init__(
+        self,
+        space: RoutingSpace,
+        corridors: Optional[Dict[str, RoutingArea]] = None,
+        corridor_detours: Optional[Dict[str, float]] = None,
+        costs: Optional[SearchCosts] = None,
+        threads: int = 4,
+        max_retry_rounds: int = 2,
+        use_interval_search: bool = True,
+        enable_pin_access: bool = True,
+        spreading=None,
+    ) -> None:
+        self.space = space
+        self.chip = space.chip
+        #: Per-net routing areas from global routing (Sec. 4.4); nets
+        #: without an entry route in the whole chip.
+        self.corridors = corridors if corridors is not None else {}
+        self.corridor_detours = corridor_detours if corridor_detours is not None else {}
+        self.costs = costs if costs is not None else SearchCosts()
+        self.threads = threads
+        self.max_retry_rounds = max_retry_rounds
+        self.use_interval_search = use_interval_search
+        self.enable_pin_access = enable_pin_access
+        self.planner = PinAccessPlanner(space)
+        self.connector = NetConnector(
+            space,
+            costs=self.costs,
+            access_paths={},
+            planner=self.planner,
+            use_interval_search=use_interval_search,
+            spreading=spreading,
+        )
+
+    # ------------------------------------------------------------------
+    # Pin access preprocessing (Sec. 4.3)
+    # ------------------------------------------------------------------
+    def preprocess_pin_access(self, nets: Sequence[Net]) -> None:
+        by_circuit: Dict[int, List] = {}
+        for net in nets:
+            for pin in net.pins:
+                if pin.circuit_id is None:
+                    continue
+                by_circuit.setdefault(pin.circuit_id, []).append(pin)
+        circuits = {c.instance_id: c for c in self.chip.circuits}
+        for circuit_id, pins in sorted(by_circuit.items()):
+            circuit = circuits.get(circuit_id)
+            if circuit is None:
+                continue
+            catalogues = self.planner.circuit_catalogues(circuit, pins)
+            solution = self.planner.conflict_free_solution(catalogues)
+            if solution is None:
+                continue
+            for pin_name, path in solution.items():
+                self.planner.reserve(path)
+                self.connector.access_paths[pin_name] = path
+
+    # ------------------------------------------------------------------
+    # Net ordering
+    # ------------------------------------------------------------------
+    def _order_nets(self, nets: Sequence[Net]) -> List[Net]:
+        """Critical nets first (Sec. 5.1), then partition-round order."""
+        critical = sorted(
+            (n for n in nets if n.weight > 1.0),
+            key=lambda n: (-n.weight, n.half_perimeter()),
+        )
+        ordinary = [n for n in nets if n.weight <= 1.0]
+        sequence = partition_sequence(self.chip, self.threads)
+        rounds = assign_nets_to_rounds(self.chip, sequence, ordinary)
+        ordered: List[Net] = list(critical)
+        for round_nets in rounds:
+            round_sorted = sorted(
+                round_nets, key=lambda item: (item[0], item[1].half_perimeter())
+            )
+            ordered.extend(net for _region, net in round_sorted)
+        return ordered
+
+    def _area_for(self, net: Net, expansion: int = 0) -> Tuple[RoutingArea, float]:
+        area = self.corridors.get(net.name)
+        if area is None:
+            return RoutingArea.everywhere(), 1.0
+        detour = self.corridor_detours.get(net.name, 1.0)
+        if expansion >= self.max_retry_rounds:
+            # Last chance: drop the corridor entirely (Sec. 4.4, "extended
+            # routing area").
+            return RoutingArea.everywhere(), detour
+        if expansion > 0:
+            pitch = self.chip.stack[self.chip.stack.bottom].pitch
+            area = area.expanded(expansion * 8 * pitch)
+        return area, detour
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, nets: Optional[Sequence[Net]] = None) -> DetailedRoutingResult:
+        start = time.time()
+        if nets is None:
+            nets = self.chip.nets
+        result = DetailedRoutingResult(self.chip)
+        if self.enable_pin_access:
+            self.preprocess_pin_access(nets)
+        queue: List[Tuple[Net, int]] = [(net, 0) for net in self._order_nets(nets)]
+        nets_by_name = {net.name: net for net in nets}
+        attempt_counts: Dict[str, int] = {}
+        while queue:
+            net, attempt = queue.pop(0)
+            attempt_counts[net.name] = attempt_counts.get(net.name, 0) + 1
+            if attempt_counts[net.name] > self.max_retry_rounds + 2:
+                result.failed.add(net.name)
+                result.routed.discard(net.name)
+                continue
+            area, detour = self._area_for(net, expansion=attempt)
+            # Retry rounds allow deeper ripup (Sec. 4.4: "reconsidered
+            # later with higher ripup effort and extended routing area").
+            if attempt == 0:
+                ripup = -2
+            elif attempt == 1:
+                ripup = int(RipupLevel.RESERVED)
+            else:
+                ripup = int(RipupLevel.NORMAL)
+            connection = self.connector.connect_net(
+                net, area, max_ripup_level=ripup, corridor_detour=detour
+            )
+            result.stats.merge(connection.stats)
+            if connection.ripped_nets:
+                result.ripup_events += len(connection.ripped_nets)
+                for ripped_name in connection.ripped_nets:
+                    ripped_net = nets_by_name.get(ripped_name)
+                    if ripped_net is None:
+                        continue
+                    result.routed.discard(ripped_name)
+                    queue.append((ripped_net, attempt_counts.get(ripped_name, 0)))
+            if connection.success:
+                result.routed.add(net.name)
+                result.failed.discard(net.name)
+            elif attempt < self.max_retry_rounds:
+                queue.append((net, attempt + 1))
+            else:
+                result.failed.add(net.name)
+                result.open_connections += connection.open_connections
+        result.wire_length = self.space.total_wire_length()
+        result.via_count = self.space.total_via_count()
+        result.runtime = time.time() - start
+        result.access_cache_hits = self.planner.cache_hits
+        result.access_cache_misses = self.planner.cache_misses
+        return result

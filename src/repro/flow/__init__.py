@@ -1,0 +1,22 @@
+"""End-to-end flows and metrics (Sec. 5).
+
+* :mod:`repro.flow.stats` - the Table I metrics: netlength, via counts,
+  scenic nets (>= 25 % / >= 50 % detour), error counts, memory;
+* :mod:`repro.flow.bonnroute` - the "BR+ISR" flow: BonnRoute global +
+  detailed routing, then the local DRC cleanup;
+* :mod:`repro.flow.isr_flow` - the plain "ISR" flow: negotiation global
+  routing, track assignment + maze detailed routing, cleanup.
+"""
+
+from repro.flow.stats import FlowMetrics, collect_metrics, scenic_nets
+from repro.flow.bonnroute import BonnRouteFlow, FlowResult
+from repro.flow.isr_flow import IsrFlow
+
+__all__ = [
+    "FlowMetrics",
+    "collect_metrics",
+    "scenic_nets",
+    "BonnRouteFlow",
+    "FlowResult",
+    "IsrFlow",
+]

@@ -1,0 +1,168 @@
+"""The BonnRoute ("BR+ISR") flow (Sec. 5.2 / 5.3).
+
+1. Track plan + routing space construction.
+2. Prerouting of single-tile nets by the detailed router in a slightly
+   enlarged tile area (Sec. 2.5), *before* capacity estimation, so their
+   wiring is accounted for as blocked track capacity.
+3. Global routing: min-max resource sharing, rounding, R&R.
+4. Detailed routing restricted to the global corridors, critical nets
+   first.
+5. External-style local DRC cleanup.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baseline.cleanup import CleanupReport, DrcCleanup
+from repro.chip.design import Chip
+from repro.chip.net import Net
+from repro.droute.area import RoutingArea
+from repro.droute.router import DetailedRouter, DetailedRoutingResult
+from repro.droute.space import RoutingSpace
+from repro.flow.stats import FlowMetrics, collect_metrics
+from repro.grid.tracks import build_track_plan
+from repro.groute.router import GlobalRouter, GlobalRoutingResult
+
+
+class FlowResult:
+    """All artefacts of one flow run."""
+
+    def __init__(self, chip: Chip) -> None:
+        self.chip = chip
+        self.space: Optional[RoutingSpace] = None
+        self.global_result: Optional[GlobalRoutingResult] = None
+        self.detailed_result: Optional[DetailedRoutingResult] = None
+        self.cleanup_report: Optional[CleanupReport] = None
+        self.metrics: Optional[FlowMetrics] = None
+        self.runtime_total = 0.0
+        self.runtime_router = 0.0  # routing without cleanup ("BR" column)
+
+
+class BonnRouteFlow:
+    """BonnRoute global + detailed routing followed by DRC cleanup."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        gr_phases: int = 30,
+        gr_tile_size: Optional[int] = None,
+        threads: int = 4,
+        seed: Optional[int] = None,
+        cleanup: bool = True,
+        corridor_margin_tiles: int = 1,
+        preroute_local_nets: bool = True,
+    ) -> None:
+        self.chip = chip
+        self.gr_phases = gr_phases
+        self.gr_tile_size = gr_tile_size
+        self.threads = threads
+        self.seed = seed
+        self.cleanup = cleanup
+        self.corridor_margin_tiles = corridor_margin_tiles
+        self.preroute_local_nets = preroute_local_nets
+
+    def run(self) -> FlowResult:
+        start = time.time()
+        result = FlowResult(self.chip)
+        plan = build_track_plan(self.chip)
+        space = RoutingSpace(self.chip, track_plan=plan)
+        result.space = space
+
+        # Prerouting of single-tile nets (Sec. 2.5): route them inside a
+        # slightly enlarged tile area before capacity estimation, then
+        # feed their wiring to the estimator as extra obstacles.
+        prerouted: set = set()
+        extra_obstacles = []
+        if self.preroute_local_nets:
+            from repro.groute.graph import GlobalRoutingGraph
+
+            probe = GlobalRoutingGraph(self.chip, self.gr_tile_size)
+            local_nets = [
+                net for net in self.chip.nets if probe.is_local_net(net)
+            ]
+            if local_nets:
+                corridors = {}
+                for net in local_nets:
+                    box = net.bounding_box().expanded(2 * probe.tile_size)
+                    clipped = box.intersection(self.chip.die) or self.chip.die
+                    corridors[net.name] = RoutingArea.from_boxes(
+                        [(z, clipped) for z in self.chip.stack.indices]
+                    )
+                pre_router = DetailedRouter(
+                    space, corridors=corridors, threads=self.threads
+                )
+                pre_result = pre_router.run(local_nets)
+                prerouted = set(pre_result.routed)
+                for name in prerouted:
+                    route = space.routes.get(name)
+                    if route is None:
+                        continue
+                    for stick, _lvl, type_name in route.wire_items():
+                        wire_type = self.chip.wire_type(type_name)
+                        shape, _c, _k = wire_type.wire_shape(
+                            stick, self.chip.stack
+                        )
+                        extra_obstacles.append((stick.layer, shape))
+
+        # Global routing (local nets are filtered inside).
+        global_router = GlobalRouter(
+            self.chip,
+            tile_size=self.gr_tile_size,
+            phases=self.gr_phases,
+            seed=self.seed,
+            track_plan=plan,
+            extra_obstacles=extra_obstacles or None,
+        )
+        global_result = global_router.run()
+        result.global_result = global_result
+
+        # Corridors; local nets route inside their (enlarged) tile.
+        corridors: Dict[str, RoutingArea] = global_result.corridors(
+            self.corridor_margin_tiles
+        )
+        detours: Dict[str, float] = {}
+        for name in global_result.routes:
+            detours[name] = global_result.corridor_detour(name)
+        for name in global_result.local_nets:
+            net = self.chip.net(name)
+            box = net.bounding_box().expanded(2 * global_router.graph.tile_size)
+            clipped = box.intersection(self.chip.die) or self.chip.die
+            corridors[name] = RoutingArea.from_boxes(
+                [(z, clipped) for z in self.chip.stack.indices]
+            )
+
+        remaining = [
+            net for net in self.chip.nets if net.name not in prerouted
+        ]
+        detailed = DetailedRouter(
+            space,
+            corridors=corridors,
+            corridor_detours=detours,
+            threads=self.threads,
+        )
+        detailed_result = detailed.run(remaining)
+        # Fold the prerouted nets into the reported coverage.
+        detailed_result.routed |= prerouted
+        detailed_result.wire_length = space.total_wire_length()
+        detailed_result.via_count = space.total_via_count()
+        result.detailed_result = detailed_result
+        result.runtime_router = time.time() - start
+
+        if self.cleanup:
+            cleaner = DrcCleanup(space)
+            result.cleanup_report = cleaner.run()
+        result.runtime_total = time.time() - start
+        drc = (
+            result.cleanup_report.final_report
+            if result.cleanup_report is not None
+            else None
+        )
+        result.metrics = collect_metrics(
+            space,
+            runtime_total=result.runtime_total,
+            runtime_bonnroute=result.runtime_router,
+            drc_report=drc,
+        )
+        return result

@@ -1,0 +1,94 @@
+"""The plain "ISR" flow of Table I.
+
+Negotiation-based 2D global routing with layer assignment, track
+assignment plus node-based maze detailed routing with greedy pin access,
+and the same local DRC cleanup finisher as the BR+ISR flow.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.baseline.cleanup import DrcCleanup
+from repro.baseline.isr_detailed import IsrDetailedRouter
+from repro.baseline.isr_global import IsrGlobalRouter
+from repro.chip.design import Chip
+from repro.droute.area import RoutingArea
+from repro.droute.space import RoutingSpace
+from repro.flow.bonnroute import FlowResult
+from repro.flow.stats import collect_metrics
+from repro.grid.tracks import build_track_plan
+
+
+class IsrFlow:
+    """The industry-standard-router stand-in flow."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        threads: int = 4,
+        cleanup: bool = True,
+        corridor_margin_tiles: int = 2,
+    ) -> None:
+        self.chip = chip
+        self.threads = threads
+        self.cleanup = cleanup
+        self.corridor_margin_tiles = corridor_margin_tiles
+
+    def run(self) -> FlowResult:
+        start = time.time()
+        result = FlowResult(self.chip)
+        plan = build_track_plan(self.chip)
+        space = RoutingSpace(self.chip, track_plan=plan)
+        result.space = space
+
+        global_router = IsrGlobalRouter(self.chip)
+        global_result = global_router.run()
+        result.global_result = global_result
+
+        corridors: Dict[str, RoutingArea] = {}
+        graph = global_router.graph
+        for name, route in global_result.routes.items():
+            boxes = []
+            for node in route.nodes():
+                tx, ty, z = node
+                rect = graph.tile_rect(tx, ty).expanded(
+                    self.corridor_margin_tiles * graph.tile_size
+                )
+                for layer in (z - 1, z, z + 1):
+                    if self.chip.stack.has_layer(layer):
+                        boxes.append((layer, rect))
+            if boxes:
+                corridors[name] = RoutingArea.from_boxes(boxes)
+        for name in global_result.local_nets:
+            net = self.chip.net(name)
+            box = net.bounding_box().expanded(2 * graph.tile_size)
+            clipped = box.intersection(self.chip.die) or self.chip.die
+            corridors[name] = RoutingArea.from_boxes(
+                [(z, clipped) for z in self.chip.stack.indices]
+            )
+
+        detailed = IsrDetailedRouter(
+            space, corridors=corridors, threads=self.threads
+        )
+        detailed_result = detailed.run()
+        result.detailed_result = detailed_result
+        result.runtime_router = time.time() - start
+
+        if self.cleanup:
+            cleaner = DrcCleanup(space)
+            result.cleanup_report = cleaner.run()
+        result.runtime_total = time.time() - start
+        drc = (
+            result.cleanup_report.final_report
+            if result.cleanup_report is not None
+            else None
+        )
+        result.metrics = collect_metrics(
+            space,
+            runtime_total=result.runtime_total,
+            runtime_bonnroute=0.0,
+            drc_report=drc,
+        )
+        return result

@@ -1,0 +1,106 @@
+"""Flow metrics: the columns of Table I.
+
+A net is *scenic* (Sec. 5.3) if its routed wiring length is at least
+a threshold (100 um in the paper; scaled to our instance sizes) and its
+detour over the (near-)minimum Steiner length is at least 25 % or 50 %.
+The Steiner baseline is exact for <= 9 terminals and heuristic above,
+identical for all compared flows.
+"""
+
+from __future__ import annotations
+
+import resource
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chip.design import Chip
+from repro.drc.checker import DrcChecker, DrcReport
+from repro.droute.space import RoutingSpace
+from repro.steiner.rsmt import steiner_length
+
+#: Minimum routed length for a net to count as scenic, in dbu.  The paper
+#: uses 100 um on mm-sized chips; our chips are ~100x smaller.
+SCENIC_LENGTH_THRESHOLD = 2000
+
+
+def net_route_length(space: RoutingSpace, net_name: str) -> int:
+    route = space.routes.get(net_name)
+    return route.wire_length if route is not None else 0
+
+
+def scenic_nets(
+    space: RoutingSpace,
+    threshold: float,
+    length_threshold: int = SCENIC_LENGTH_THRESHOLD,
+) -> List[str]:
+    """Nets with routed length >= length_threshold and detour >= threshold."""
+    out = []
+    for net in space.chip.nets:
+        routed = net_route_length(space, net.name)
+        if routed < length_threshold:
+            continue
+        baseline = steiner_length(net.terminal_points())
+        if baseline <= 0:
+            continue
+        if routed >= (1.0 + threshold) * baseline:
+            out.append(net.name)
+    return out
+
+
+class FlowMetrics:
+    """One row of Table I."""
+
+    def __init__(self) -> None:
+        self.chip_name = ""
+        self.nets = 0
+        self.runtime_total = 0.0
+        self.runtime_bonnroute = 0.0  # the "BR" sub-column
+        self.memory_mb = 0.0
+        self.netlength = 0
+        self.vias = 0
+        self.scenic_25 = 0
+        self.scenic_50 = 0
+        self.errors = 0
+        self.drc_report: Optional[DrcReport] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "chip": self.chip_name,
+            "nets": self.nets,
+            "time_total_s": round(self.runtime_total, 2),
+            "time_br_s": round(self.runtime_bonnroute, 2),
+            "memory_mb": round(self.memory_mb, 1),
+            "netlength": self.netlength,
+            "vias": self.vias,
+            "scenic_25": self.scenic_25,
+            "scenic_50": self.scenic_50,
+            "errors": self.errors,
+        }
+
+
+def peak_memory_mb() -> float:
+    """Peak RSS of the process in MiB (the Table I memory column)."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_maxrss / 1024.0
+
+
+def collect_metrics(
+    space: RoutingSpace,
+    runtime_total: float,
+    runtime_bonnroute: float = 0.0,
+    drc_report: Optional[DrcReport] = None,
+) -> FlowMetrics:
+    metrics = FlowMetrics()
+    metrics.chip_name = space.chip.name
+    metrics.nets = len(space.chip.nets)
+    metrics.runtime_total = runtime_total
+    metrics.runtime_bonnroute = runtime_bonnroute
+    metrics.memory_mb = peak_memory_mb()
+    metrics.netlength = space.total_wire_length()
+    metrics.vias = space.total_via_count()
+    metrics.scenic_25 = len(scenic_nets(space, 0.25))
+    metrics.scenic_50 = len(scenic_nets(space, 0.50))
+    if drc_report is None:
+        drc_report = DrcChecker(space).run()
+    metrics.drc_report = drc_report
+    metrics.errors = drc_report.error_count
+    return metrics

@@ -1,0 +1,42 @@
+"""Rectilinear geometry for Manhattan routing.
+
+Everything in BonnRoute lives in an integer Manhattan world: wires are
+axis-parallel, shapes are axis-parallel rectangles (or rectilinear polygons
+decomposed into rectangles), and distances are measured in the l1, l2 or
+l-infinity metric depending on the design rule (Sec. 3.1).
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.rect import Rect
+from repro.geometry.polygon import (
+    rectilinear_area,
+    polygon_width_at,
+    min_polygon_width,
+    boundary_edges,
+    merge_rects,
+)
+from repro.geometry.hanan import hanan_coordinates, hanan_grid_points
+from repro.geometry.l1 import (
+    l1_distance,
+    rect_l1_distance,
+    rect_l2_gap,
+    rect_linf_gap,
+    run_length,
+)
+
+__all__ = [
+    "Interval",
+    "Rect",
+    "rectilinear_area",
+    "polygon_width_at",
+    "min_polygon_width",
+    "boundary_edges",
+    "merge_rects",
+    "hanan_coordinates",
+    "hanan_grid_points",
+    "l1_distance",
+    "rect_l1_distance",
+    "rect_l2_gap",
+    "rect_linf_gap",
+    "run_length",
+]

@@ -1,0 +1,79 @@
+"""Distance and run-length primitives for design-rule evaluation.
+
+Diff-net spacing rules (Sec. 3.1) are non-decreasing functions of the two
+shapes' widths and their common run-length, measured in the l2 metric (or
+sometimes per axis).  These helpers compute the geometric quantities those
+rules are evaluated on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.geometry.rect import Rect
+
+
+def l1_distance(a: Tuple[int, int], b: Tuple[int, int]) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def _axis_gap(lo_a: int, hi_a: int, lo_b: int, hi_b: int) -> int:
+    """Gap between two closed 1-D intervals (0 if they touch or overlap)."""
+    if hi_a < lo_b:
+        return lo_b - hi_a
+    if hi_b < lo_a:
+        return lo_a - hi_b
+    return 0
+
+
+def rect_l1_distance(a: Rect, b: Rect) -> int:
+    """l1 distance between two rectangles (0 if they touch)."""
+    return _axis_gap(a.x_lo, a.x_hi, b.x_lo, b.x_hi) + _axis_gap(
+        a.y_lo, a.y_hi, b.y_lo, b.y_hi
+    )
+
+
+def rect_l2_gap(a: Rect, b: Rect) -> float:
+    """Euclidean gap between two rectangles (0 if they touch)."""
+    dx = _axis_gap(a.x_lo, a.x_hi, b.x_lo, b.x_hi)
+    dy = _axis_gap(a.y_lo, a.y_hi, b.y_lo, b.y_hi)
+    return math.hypot(dx, dy)
+
+
+def rect_linf_gap(a: Rect, b: Rect) -> int:
+    """Chebyshev gap between two rectangles (0 if they touch)."""
+    dx = _axis_gap(a.x_lo, a.x_hi, b.x_lo, b.x_hi)
+    dy = _axis_gap(a.y_lo, a.y_hi, b.y_lo, b.y_hi)
+    return max(dx, dy)
+
+
+def run_length(a: Rect, b: Rect) -> int:
+    """Common run-length of two shapes (Sec. 3.1).
+
+    The common run-length in x (resp. y) is the length of the intersection
+    of the projections of both shapes onto that axis; the run-length used by
+    spacing rules is the larger of the two, and it is 0 when the projections
+    are disjoint in both axes (diagonal neighbours).
+    """
+    x_overlap = min(a.x_hi, b.x_hi) - max(a.x_lo, b.x_lo)
+    y_overlap = min(a.y_hi, b.y_hi) - max(a.y_lo, b.y_lo)
+    return max(0, x_overlap, y_overlap)
+
+
+def projection_overlap(a: Rect, b: Rect, axis: str) -> int:
+    """Run-length restricted to one axis ('x' or 'y'); may be 0."""
+    if axis == "x":
+        return max(0, min(a.x_hi, b.x_hi) - max(a.x_lo, b.x_lo))
+    if axis == "y":
+        return max(0, min(a.y_hi, b.y_hi) - max(a.y_lo, b.y_lo))
+    raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+
+
+def rect_width(rect: Rect) -> int:
+    """Rule width of a rectangle: edge length of the largest enclosed square.
+
+    For a single rectangle this is simply min(width, height); for general
+    rectilinear polygons see :func:`repro.geometry.polygon.polygon_width_at`.
+    """
+    return min(rect.width, rect.height)

@@ -1,0 +1,178 @@
+"""Operations on rectilinear polygons given as unions of rectangles.
+
+Same-net rules (Sec. 3.7) are stated on connected metal polygons: the
+minimum area rule constrains the polygon's total area, and short-edge rules
+constrain the lengths of adjacent boundary edges.  Metal on a layer is
+stored as a set of rectangles (possibly overlapping); these helpers compute
+the polygon-level quantities from that representation via coordinate
+compression, which is exact and fast for the per-net shape counts we see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+
+def _compress(rects: Sequence[Rect]) -> Tuple[List[int], List[int]]:
+    xs = sorted({r.x_lo for r in rects} | {r.x_hi for r in rects})
+    ys = sorted({r.y_lo for r in rects} | {r.y_hi for r in rects})
+    return xs, ys
+
+
+def _coverage(
+    rects: Sequence[Rect], xs: List[int], ys: List[int]
+) -> List[List[bool]]:
+    """covered[i][j] == True iff compressed cell (xs[i..i+1], ys[j..j+1])
+    lies inside the union of ``rects``."""
+    x_index = {x: i for i, x in enumerate(xs)}
+    y_index = {y: j for j, y in enumerate(ys)}
+    covered = [[False] * (len(ys) - 1) for _ in range(len(xs) - 1)]
+    for rect in rects:
+        for i in range(x_index[rect.x_lo], x_index[rect.x_hi]):
+            row = covered[i]
+            for j in range(y_index[rect.y_lo], y_index[rect.y_hi]):
+                row[j] = True
+    return covered
+
+
+def rectilinear_area(rects: Sequence[Rect]) -> int:
+    """Area of the union of the rectangles (overlaps counted once)."""
+    rects = [r for r in rects if r.area > 0]
+    if not rects:
+        return 0
+    xs, ys = _compress(rects)
+    covered = _coverage(rects, xs, ys)
+    area = 0
+    for i in range(len(xs) - 1):
+        dx = xs[i + 1] - xs[i]
+        row = covered[i]
+        for j in range(len(ys) - 1):
+            if row[j]:
+                area += dx * (ys[j + 1] - ys[j])
+    return area
+
+
+def merge_rects(rects: Iterable[Rect]) -> List[Rect]:
+    """Canonical disjoint-rect decomposition of the union (vertical slabs).
+
+    Returns maximal-height rectangles per compressed x-slab, with adjacent
+    slabs merged when their y-extents match.  The output covers exactly the
+    union and its members have pairwise disjoint interiors.
+    """
+    rects = [r for r in rects if r.area > 0]
+    if not rects:
+        return []
+    xs, ys = _compress(rects)
+    covered = _coverage(rects, xs, ys)
+    # Column signature per x-slab: sorted list of covered y-runs.
+    slabs: List[Tuple[int, int, Tuple[Tuple[int, int], ...]]] = []
+    for i in range(len(xs) - 1):
+        runs: List[Tuple[int, int]] = []
+        j = 0
+        while j < len(ys) - 1:
+            if covered[i][j]:
+                start = j
+                while j < len(ys) - 1 and covered[i][j]:
+                    j += 1
+                runs.append((ys[start], ys[j]))
+            else:
+                j += 1
+        slabs.append((xs[i], xs[i + 1], tuple(runs)))
+    merged: List[Rect] = []
+    idx = 0
+    while idx < len(slabs):
+        x_lo, x_hi, runs = slabs[idx]
+        nxt = idx + 1
+        while nxt < len(slabs) and slabs[nxt][0] == x_hi and slabs[nxt][2] == runs:
+            x_hi = slabs[nxt][1]
+            nxt += 1
+        for y_lo, y_hi in runs:
+            merged.append(Rect(x_lo, y_lo, x_hi, y_hi))
+        idx = nxt
+    return merged
+
+
+def boundary_edges(rects: Sequence[Rect]) -> List[Tuple[int, int, int, int]]:
+    """Maximal boundary segments of the union, as (x0, y0, x1, y1) tuples.
+
+    Horizontal segments have y0 == y1 and x0 < x1; vertical segments have
+    x0 == x1 and y0 < y1.  Used by the short-edge rule checker (Sec. 3.7).
+    """
+    rects = [r for r in rects if r.area > 0]
+    if not rects:
+        return []
+    xs, ys = _compress(rects)
+    covered = _coverage(rects, xs, ys)
+
+    def cell(i: int, j: int) -> bool:
+        if i < 0 or j < 0 or i >= len(xs) - 1 or j >= len(ys) - 1:
+            return False
+        return covered[i][j]
+
+    horizontal: Dict[int, List[Tuple[int, int]]] = {}
+    vertical: Dict[int, List[Tuple[int, int]]] = {}
+    for i in range(len(xs) - 1):
+        for j in range(len(ys)):
+            # Horizontal boundary at y == ys[j], spanning xs[i]..xs[i+1]:
+            # exactly one of the cells above/below is covered.
+            if cell(i, j - 1) != cell(i, j):
+                horizontal.setdefault(ys[j], []).append((xs[i], xs[i + 1]))
+    for j in range(len(ys) - 1):
+        for i in range(len(xs)):
+            if cell(i - 1, j) != cell(i, j):
+                vertical.setdefault(xs[i], []).append((ys[j], ys[j + 1]))
+
+    segments: List[Tuple[int, int, int, int]] = []
+    for y, pieces in sorted(horizontal.items()):
+        pieces.sort()
+        x0, x1 = pieces[0]
+        for lo, hi in pieces[1:]:
+            if lo == x1:
+                x1 = hi
+            else:
+                segments.append((x0, y, x1, y))
+                x0, x1 = lo, hi
+        segments.append((x0, y, x1, y))
+    for x, pieces in sorted(vertical.items()):
+        pieces.sort()
+        y0, y1 = pieces[0]
+        for lo, hi in pieces[1:]:
+            if lo == y1:
+                y1 = hi
+            else:
+                segments.append((x, y0, x, y1))
+                y0, y1 = lo, hi
+        segments.append((x, y0, x, y1))
+    return segments
+
+
+def polygon_width_at(rects: Sequence[Rect], x: int, y: int) -> int:
+    """Rule width at a point, following the per-shape model of Sec. 3.2.
+
+    The paper defines width at p as the edge length of a largest enclosed
+    square covering p, but notes (Sec. 3.2) that for efficiency BonnRoute
+    "only consider[s] minimum distance requirements between individual
+    shapes instead of whole rectilinear polygons".  We follow that model:
+    the width at p is the best min(width, height) over the individual
+    rectangles containing p, which is exact for single rectangles and a
+    safe (never over-estimating) value for overlapping unions.
+    """
+    best = 0
+    for rect in rects:
+        if rect.contains_point(x, y):
+            best = max(best, min(rect.width, rect.height))
+    return best
+
+
+def min_polygon_width(rects: Sequence[Rect]) -> int:
+    """Smallest per-shape width over the union's decomposition.
+
+    Computed on the canonical disjoint decomposition so that overlapping
+    input rectangles do not produce spurious thin slivers.
+    """
+    pieces = merge_rects(rects)
+    if not pieces:
+        return 0
+    return min(min(piece.width, piece.height) for piece in pieces)

@@ -1,0 +1,40 @@
+"""Routing-space representation (Sec. 3 of the paper).
+
+Two-level structure:
+
+* the **shape grid** (:mod:`repro.grid.shapegrid`) stores every blockage,
+  wire and via shape in small cells with shared configuration numbers,
+  grouped into intervals held in AVL trees - the ground truth for diff-net
+  rule checking;
+* the **distance rule checking module** (:mod:`repro.grid.drc_query`) is
+  the query interface between the shape grid and the path searches;
+* the **fast grid** (:mod:`repro.grid.fastgrid`) caches precomputed
+  legality words for the frequent wire types at on-track locations;
+* **routing tracks** (:mod:`repro.grid.tracks`) are placed by an exact
+  solver for the track optimization problem (Thm 3.1) and induce the
+  track graph used by on-track path search;
+* the **blockage grid** (:mod:`repro.grid.blockgrid`) supports shortest
+  tau-feasible off-track paths (Alg. 3, Thm 3.2).
+"""
+
+from repro.grid.tracks import optimize_tracks, TrackPlan, build_track_plan
+from repro.grid.trackgraph import TrackGraph
+from repro.grid.shapegrid import ShapeGrid, ShapeEntry, RipupLevel
+from repro.grid.drc_query import DistanceRuleChecker, PlacementCheck
+from repro.grid.fastgrid import FastGrid
+from repro.grid.blockgrid import BlockageGrid, blockage_grid_coordinates
+
+__all__ = [
+    "optimize_tracks",
+    "TrackPlan",
+    "build_track_plan",
+    "TrackGraph",
+    "ShapeGrid",
+    "ShapeEntry",
+    "RipupLevel",
+    "DistanceRuleChecker",
+    "PlacementCheck",
+    "FastGrid",
+    "BlockageGrid",
+    "blockage_grid_coordinates",
+]

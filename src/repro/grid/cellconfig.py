@@ -1,0 +1,74 @@
+"""Cell configuration table of the shape grid (Sec. 3.3, Fig. 3).
+
+Each shape-grid cell stores the intersections of shapes with its area,
+with coordinates relative to the cell's anchor point.  Because this *cell
+configuration* is typically identical in a large number of cells, cells
+hold only a *configuration number* indexing a lookup table with the actual
+data.  Configuration number 0 is the empty configuration and is never
+stored explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Tuple
+
+
+class CellShape(NamedTuple):
+    """One clipped shape inside a cell, relative to the cell anchor.
+
+    ``rule_width`` is the effective width of the *original* shape (carried
+    by its shape class, Sec. 3.2), so clipping does not weaken spacing
+    lookups.  ``ripup_level`` follows the paper's convention: the
+    ripup-and-reroute algorithm may only remove shapes of at most the
+    currently allowed level; fixed objects carry ``RIPUP_FIXED``.
+    """
+
+    x_lo: int
+    y_lo: int
+    x_hi: int
+    y_hi: int
+    net: object  # net name (str) or None for blockages
+    class_name: str
+    shape_kind: str
+    ripup_level: int
+    rule_width: int
+
+
+Config = FrozenSet[CellShape]
+
+EMPTY_CONFIG_ID = 0
+
+
+class ConfigTable:
+    """Interning table mapping cell configurations to small integers."""
+
+    def __init__(self) -> None:
+        self._by_config: Dict[Config, int] = {frozenset(): EMPTY_CONFIG_ID}
+        self._by_id: List[Config] = [frozenset()]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def intern(self, config: Config) -> int:
+        config_id = self._by_config.get(config)
+        if config_id is None:
+            config_id = len(self._by_id)
+            self._by_config[config] = config_id
+            self._by_id.append(config)
+        return config_id
+
+    def lookup(self, config_id: int) -> Config:
+        return self._by_id[config_id]
+
+    def with_shape(self, config_id: int, shape: CellShape) -> int:
+        """Configuration id after adding ``shape`` to ``config_id``."""
+        config = self._by_id[config_id]
+        if shape in config:
+            return config_id
+        return self.intern(config | {shape})
+
+    def without_shape(self, config_id: int, shape: CellShape) -> int:
+        config = self._by_id[config_id]
+        if shape not in config:
+            return config_id
+        return self.intern(config - {shape})

@@ -1,0 +1,347 @@
+"""The fast grid (Sec. 3.6).
+
+Caches, for a small set of frequently used wire types, the legality of the
+four shape types {preferred-direction wire, jog, via down, via up} at
+on-track locations, so the on-track path search rarely needs the (much
+slower) distance rule checking module.  Words are computed lazily and kept
+per track in interval-compressible caches; every shape insertion or
+removal invalidates the affected region.
+
+Edge usability is deduced from the two endpoint vertex words whenever only
+on-track wiring is present; where off-track shapes are nearby, a *dirty
+bit* at a vertex forces a direct shape-grid query for its incident edges
+(the zigzag-edge bit of Fig. 4).
+
+The grid counts hits and misses, reproducing the paper's statistics
+(97.89 % of queries answered by the fast grid; 5.29x on-track speed-up).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+from repro.grid.drc_query import DistanceRuleChecker, PlacementCheck, PrefetchedBand
+from repro.grid.shapegrid import RIPUP_FIXED
+from repro.grid.trackgraph import TrackGraph, Vertex
+from repro.tech.layers import Direction
+from repro.tech.wiring import StickFigure, WireType
+
+#: Shape types a fast-grid word stores, in order.
+SHAPE_TYPES = ("wire", "jog", "via_down", "via_up")
+
+#: Per shape type: (legal, ripup_level_needed); RIPUP_FIXED when not even
+#: ripup can make it legal.
+Word = Tuple[Tuple[bool, int], ...]
+
+
+class FastGrid:
+    """Per-wire-type legality cache over the track graph."""
+
+    def __init__(
+        self,
+        graph: TrackGraph,
+        checker: DistanceRuleChecker,
+        wire_types: Sequence[WireType],
+        enabled: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.checker = checker
+        self.wire_types: Dict[str, WireType] = {wt.name: wt for wt in wire_types}
+        #: When disabled, every query goes straight to the checker
+        #: (ablation baseline for the 5.29x speed-up statistic).
+        self.enabled = enabled
+        # cache[(wiretype, z, t)][c] -> Word
+        self._cache: Dict[Tuple[str, int, int], Dict[int, Word]] = {}
+        # Vertices whose incident edges cannot be deduced from vertex
+        # words because off-track shapes are nearby.
+        self._dirty: Dict[Tuple[int, int], set] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Word computation
+    # ------------------------------------------------------------------
+    def _compute_word(
+        self, wire_type: WireType, vertex: Vertex, prefetched=None
+    ) -> Word:
+        x, y, z = self.graph.position(vertex)
+        checks: List[Tuple[bool, int]] = []
+        stack = self.graph.stack
+        point = StickFigure(z, x, y, x, y)
+        wiring_entries = (
+            None if prefetched is None else prefetched.get(("wiring", z))
+        )
+        for shape_type in SHAPE_TYPES:
+            check: Optional[PlacementCheck] = None
+            if shape_type == "wire":
+                if wire_type.has_layer(z):
+                    shape, cls, _ = wire_type.wire_shape(point, stack)
+                    check = self.checker.check_metal(
+                        z, shape, cls.rule_width, None, prefetched=wiring_entries
+                    )
+            elif shape_type == "jog":
+                if wire_type.has_layer(z):
+                    model = wire_type.nonpreferred_model(z)
+                    shape = model.metal_shape(point, stack.direction(z))
+                    check = self.checker.check_metal(
+                        z, shape, model.shape_class.rule_width, None,
+                        prefetched=wiring_entries,
+                    )
+            elif shape_type == "via_down":
+                if stack.has_layer(z - 1) and wire_type.has_via_layer(z - 1):
+                    check = self.checker.check_via(
+                        wire_type, z - 1, x, y, None, prefetched=prefetched
+                    )
+            else:  # via_up
+                if stack.has_layer(z + 1) and wire_type.has_via_layer(z):
+                    check = self.checker.check_via(
+                        wire_type, z, x, y, None, prefetched=prefetched
+                    )
+            if check is None:
+                checks.append((False, RIPUP_FIXED))
+            else:
+                checks.append((check.legal, check.max_ripup_needed))
+        return tuple(checks)
+
+    def ensure_words(
+        self, wire_type_name: str, z: int, t: int, c_lo: int, c_hi: int
+    ) -> None:
+        """Batch-fill the word cache for a track segment.
+
+        One shape-grid traversal per (kind, layer) band replaces the
+        per-vertex traversals; each vertex's checks then filter the
+        prefetched entries by its own query window, giving results
+        identical to individual :meth:`word` calls.
+        """
+        if not self.enabled or c_lo > c_hi:
+            return
+        key = (wire_type_name, z, t)
+        track_cache = self._cache.setdefault(key, {})
+        missing = [c for c in range(c_lo, c_hi + 1) if c not in track_cache]
+        if not missing:
+            return
+        wire_type = self.wire_types[wire_type_name]
+        graph = self.graph
+        stack = graph.stack
+        x0, y0, _ = graph.position((z, t, missing[0]))
+        x1, y1, _ = graph.position((z, t, missing[-1]))
+        band = Rect(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+        prefetched = {}
+        for layer in (z - 1, z, z + 1):
+            if not stack.has_layer(layer):
+                continue
+            margin = (
+                self.checker.rules.max_interaction_distance(layer)
+                + 4 * stack[layer].pitch
+            )
+            prefetched[("wiring", layer)] = PrefetchedBand(
+                self.checker.prefetch_entries("wiring", layer, band.expanded(margin)),
+                axis_x=band.width >= band.height,
+            )
+        for via_layer in (z - 1, z):
+            if via_layer in stack.via_layers():
+                margin = 4 * stack[via_layer].pitch
+                prefetched[("via", via_layer)] = PrefetchedBand(
+                    self.checker.prefetch_entries(
+                        "via", via_layer, band.expanded(margin)
+                    ),
+                    axis_x=band.width >= band.height,
+                )
+        for c in missing:
+            self.misses += 1
+            track_cache[c] = self._compute_word(
+                wire_type, (z, t, c), prefetched=prefetched
+            )
+
+    def word(self, wire_type_name: str, vertex: Vertex) -> Word:
+        """Legality word at a vertex, from cache or freshly computed.
+
+        The word is computed net-blind (net=None): any foreign *or own*
+        shape in range counts.  The path search treats the source/target
+        components specially by temporarily removing their shapes
+        (Sec. 4.4), so net-blind words stay correct.
+        """
+        wire_type = self.wire_types[wire_type_name]
+        if not self.enabled:
+            self.misses += 1
+            return self._compute_word(wire_type, vertex)
+        z, t, c = vertex
+        key = (wire_type_name, z, t)
+        track_cache = self._cache.get(key)
+        if track_cache is None:
+            track_cache = {}
+            self._cache[key] = track_cache
+        word = track_cache.get(c)
+        if word is not None:
+            self.hits += 1
+            return word
+        self.misses += 1
+        word = self._compute_word(wire_type, vertex)
+        track_cache[c] = word
+        return word
+
+    # ------------------------------------------------------------------
+    # Usability queries used by the path search
+    # ------------------------------------------------------------------
+    def vertex_usable(
+        self, wire_type_name: str, vertex: Vertex, shape_type: str, ripup_level: int = -2
+    ) -> bool:
+        """Is ``shape_type`` legal at ``vertex`` (with optional ripup)?
+
+        ``ripup_level`` -2 (default) requires full legality; otherwise
+        shapes up to that ripup level may be assumed removable.
+        """
+        legal, needed = self.word(wire_type_name, vertex)[
+            SHAPE_TYPES.index(shape_type)
+        ]
+        if legal:
+            return True
+        if ripup_level < 0:
+            return False
+        return needed != RIPUP_FIXED and needed <= ripup_level
+
+    def vertex_needs_ripup(
+        self, wire_type_name: str, vertex: Vertex, shape_type: str
+    ) -> bool:
+        legal, _needed = self.word(wire_type_name, vertex)[
+            SHAPE_TYPES.index(shape_type)
+        ]
+        return not legal
+
+    def edge_usable(
+        self,
+        wire_type_name: str,
+        v: Vertex,
+        w: Vertex,
+        kind: str,
+        ripup_level: int = -2,
+    ) -> bool:
+        """Usability of the track-graph edge (v, w) for the wire type.
+
+        Deduce from the endpoint words unless a dirty bit forces a direct
+        segment query (Sec. 3.6 / Fig. 4).
+        """
+        if kind == "via":
+            upper_vertex = v if v[0] > w[0] else w
+            lower_vertex = w if v[0] > w[0] else v
+            return self.vertex_usable(
+                wire_type_name, lower_vertex, "via_up", ripup_level
+            ) and self.vertex_usable(
+                wire_type_name, upper_vertex, "via_down", ripup_level
+            )
+        shape_type = "wire" if kind == "wire" else "jog"
+        if self._is_dirty(v) or self._is_dirty(w):
+            return self._segment_check(wire_type_name, v, w, kind, ripup_level)
+        return self.vertex_usable(
+            wire_type_name, v, shape_type, ripup_level
+        ) and self.vertex_usable(wire_type_name, w, shape_type, ripup_level)
+
+    def _segment_check(
+        self, wire_type_name: str, v: Vertex, w: Vertex, kind: str, ripup_level: int
+    ) -> bool:
+        wire_type = self.wire_types[wire_type_name]
+        xv, yv, z = self.graph.position(v)
+        xw, yw, _ = self.graph.position(w)
+        stick = StickFigure(z, xv, yv, xw, yw)
+        check = self.checker.check_wire(wire_type, stick, None)
+        if check.legal:
+            return True
+        if ripup_level < 0:
+            return False
+        return check.max_ripup_needed != RIPUP_FIXED and (
+            check.max_ripup_needed <= ripup_level
+        )
+
+    def _is_dirty(self, vertex: Vertex) -> bool:
+        z, t, c = vertex
+        dirty = self._dirty.get((z, t))
+        return dirty is not None and c in dirty
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate_region(self, layer: int, rect: Rect, off_track: bool = False) -> None:
+        """Drop cached words near ``rect`` on ``layer`` and its neighbours.
+
+        Via legality on adjacent layers depends on shapes here, so the
+        invalidation spans layers ``layer - 1 .. layer + 1``.  With
+        ``off_track`` set, the affected vertices additionally get dirty
+        bits so incident-edge legality is re-derived from the shape grid.
+        """
+        stack = self.graph.stack
+        for z in (layer - 1, layer, layer + 1):
+            if not stack.has_layer(z):
+                continue
+            radius = self.checker.rules.max_interaction_distance(z) + 2 * stack[z].pitch
+            window = rect.expanded(radius)
+            if stack.direction(z) is Direction.HORIZONTAL:
+                track_lo, track_hi = window.y_lo, window.y_hi
+                cross_lo, cross_hi = window.x_lo, window.x_hi
+            else:
+                track_lo, track_hi = window.x_lo, window.x_hi
+                cross_lo, cross_hi = window.y_lo, window.y_hi
+            track_range = self.graph.tracks_in_range(z, track_lo, track_hi)
+            cross_range = self.graph.crosses_in_range(z, cross_lo, cross_hi)
+            if not cross_range:
+                continue
+            c_lo, c_hi = cross_range[0], cross_range[-1]
+            for wt_name in self.wire_types:
+                for t in track_range:
+                    track_cache = self._cache.get((wt_name, z, t))
+                    if not track_cache:
+                        continue
+                    for c in range(c_lo, c_hi + 1):
+                        track_cache.pop(c, None)
+            if off_track:
+                for t in track_range:
+                    dirty = self._dirty.setdefault((z, t), set())
+                    dirty.update(range(c_lo, c_hi + 1))
+
+    def clear_dirty(self, layer: int, rect: Rect) -> None:
+        """Remove dirty bits in a region (after off-track shapes left)."""
+        stack = self.graph.stack
+        for z in (layer - 1, layer, layer + 1):
+            if not stack.has_layer(z):
+                continue
+            radius = self.checker.rules.max_interaction_distance(z) + 2 * stack[z].pitch
+            window = rect.expanded(radius)
+            if stack.direction(z) is Direction.HORIZONTAL:
+                track_range = self.graph.tracks_in_range(z, window.y_lo, window.y_hi)
+                cross_range = self.graph.crosses_in_range(z, window.x_lo, window.x_hi)
+            else:
+                track_range = self.graph.tracks_in_range(z, window.x_lo, window.x_hi)
+                cross_range = self.graph.crosses_in_range(z, window.y_lo, window.y_hi)
+            if not cross_range:
+                continue
+            for t in track_range:
+                dirty = self._dirty.get((z, t))
+                if dirty:
+                    dirty.difference_update(cross_range)
+
+    # ------------------------------------------------------------------
+    # Statistics (Sec. 3.6 / Fig. 4)
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def interval_count(self) -> int:
+        """Number of maximal runs of identical cached words.
+
+        This is the storage unit of the real fast grid (Fig. 4); we keep
+        a plain per-vertex cache for simplicity but report the interval
+        statistic it would compress to.
+        """
+        count = 0
+        for track_cache in self._cache.values():
+            previous_c: Optional[int] = None
+            previous_word: Optional[Word] = None
+            for c in sorted(track_cache):
+                word = track_cache[c]
+                if previous_c is None or c != previous_c + 1 or word != previous_word:
+                    count += 1
+                previous_c = c
+                previous_word = word
+        return count

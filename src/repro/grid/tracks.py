@@ -1,0 +1,245 @@
+"""Routing tracks and the track optimization problem (Sec. 3.5).
+
+Given a layer with minimum pitch p and a set A of axis-parallel rectangles
+with pairwise disjoint interiors in which a standard wire can run, the
+*track optimization problem* asks for a set T of lines in preferred
+direction, pairwise at least p apart, maximizing the total usable track
+length sum_t |t cap union(A)|.  Mueller [2009] solves this in
+O(|A| log |A|); we implement the equivalent exact dynamic program over the
+candidate coordinates {breakpoint + k*p}, which is optimal because the
+coverage profile is piecewise constant between breakpoints, so an optimal
+solution can be shifted so that every selected line either sits on a
+breakpoint or is pitch-chained to one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chip.design import Chip
+from repro.geometry.rect import Rect, subtract_rect
+from repro.tech.layers import Direction
+
+
+def coverage_profile(
+    rects: Sequence[Rect], direction: Direction
+) -> List[Tuple[int, int, int]]:
+    """Piecewise-constant usable length per line coordinate.
+
+    For a HORIZONTAL track direction the line coordinate is y and the
+    usable length of a line at y is the total x-extent of rectangles whose
+    closed y-range contains y.  Returns half-open ``(lo, hi, value)``
+    pieces: every integer line coordinate c with ``lo <= c < hi`` has
+    usable length ``value``.  Rectangles are closed, so a rectangle
+    [y_lo, y_hi] covers lines y_lo .. y_hi inclusive; degenerate
+    (zero-height) rectangles - used as pin-alignment rewards - cover
+    exactly their single line.
+    """
+    if not rects:
+        return []
+    events: List[Tuple[int, int]] = []
+    for rect in rects:
+        if direction is Direction.HORIZONTAL:
+            lo, hi, length = rect.y_lo, rect.y_hi, max(rect.width, 1)
+        else:
+            lo, hi, length = rect.x_lo, rect.x_hi, max(rect.height, 1)
+        events.append((lo, length))
+        events.append((hi + 1, -length))
+    events.sort()
+    pieces: List[Tuple[int, int, int]] = []
+    value = 0
+    prev: Optional[int] = None
+    index = 0
+    while index < len(events):
+        coord = events[index][0]
+        if prev is not None and coord > prev and value > 0:
+            pieces.append((prev, coord, value))
+        delta = 0
+        while index < len(events) and events[index][0] == coord:
+            delta += events[index][1]
+            index += 1
+        value += delta
+        prev = coord
+    return pieces
+
+
+def _coverage_value(pieces: Sequence[Tuple[int, int, int]], coord: int) -> int:
+    """Usable length of a line at integer coordinate ``coord``."""
+    if not pieces:
+        return 0
+    starts = [p[0] for p in pieces]
+    idx = bisect.bisect_right(starts, coord) - 1
+    if idx >= 0:
+        lo, hi, value = pieces[idx]
+        if lo <= coord < hi:
+            return value
+    return 0
+
+
+def optimize_tracks(
+    rects: Sequence[Rect],
+    pitch: int,
+    span: Tuple[int, int],
+    direction: Direction = Direction.HORIZONTAL,
+) -> List[int]:
+    """Solve the track optimization problem exactly (Thm 3.1).
+
+    Returns the sorted line coordinates of an optimal track set within
+    ``span`` (inclusive).  Rectangles must have pairwise disjoint
+    interiors for the objective to equal the summed coverage.
+    """
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    lo, hi = span
+    if lo > hi:
+        raise ValueError("empty span")
+    pieces = coverage_profile(rects, direction)
+    breakpoints = sorted(
+        {p[0] for p in pieces} | {p[1] for p in pieces} | {lo, hi}
+    )
+    # Candidate coordinates: every breakpoint plus pitch-chains from it.
+    candidates = set()
+    for b in breakpoints:
+        if lo <= b <= hi:
+            candidates.add(b)
+        k = 1
+        while b + k * pitch <= hi:
+            if b + k * pitch >= lo:
+                candidates.add(b + k * pitch)
+            k += 1
+    ordered = sorted(candidates)
+    values = [_coverage_value(pieces, c) for c in ordered]
+    # Weighted interval-scheduling DP: dp[i] = best total using candidates
+    # [0..i] with the last selected line at or before ordered[i].
+    n = len(ordered)
+    dp = [0] * (n + 1)  # dp[i]: best over first i candidates
+    choose = [False] * n
+    prev_index = [0] * n
+    for i in range(n):
+        # Last candidate at distance >= pitch below ordered[i].
+        j = bisect.bisect_right(ordered, ordered[i] - pitch)
+        take = values[i] + dp[j]
+        skip = dp[i]
+        if take > skip or (take == skip and values[i] > 0):
+            dp[i + 1] = take
+            choose[i] = True
+            prev_index[i] = j
+        else:
+            dp[i + 1] = skip
+    # Backtrack.
+    tracks: List[int] = []
+    i = n
+    while i > 0:
+        if choose[i - 1] and dp[i] == values[i - 1] + dp[prev_index[i - 1]]:
+            tracks.append(ordered[i - 1])
+            i = prev_index[i - 1]
+        else:
+            i -= 1
+    tracks.reverse()
+    return tracks
+
+
+def obstacle_clearance(chip: Chip, layer_index: int, rect: Rect) -> int:
+    """Centerline clearance a standard wire needs from ``rect``.
+
+    Half the wire width plus the width/run-length dependent spacing: a
+    wire running parallel to a long fat obstacle (e.g. a power rail) hits
+    the wide/long-run rows of the spacing table, not just the base
+    spacing (Sec. 3.1).
+    """
+    layer = chip.stack[layer_index]
+    rule = chip.rules.spacing_rule(layer_index)
+    obstacle_width = min(rect.width, rect.height)
+    # Worst-case run-length: the obstacle's full extent (a track can run
+    # parallel to it for its whole length).
+    potential_run = max(rect.width, rect.height)
+    spacing = rule.spacing(layer.min_width, obstacle_width, potential_run)
+    return layer.min_width // 2 + spacing
+
+
+def _free_rects_on_layer(chip: Chip, layer_index: int) -> List[Rect]:
+    """Rectangles where a standard wire fits on ``layer_index``.
+
+    The usable area is the die shrunk by half a wire width, minus every
+    obstacle expanded by the wire's half width plus its (width- and
+    run-length-aware) required spacing.
+    """
+    layer = chip.stack[layer_index]
+    half_width = layer.min_width // 2
+    die = chip.die
+    if die.width <= 2 * half_width or die.height <= 2 * half_width:
+        return []
+    free: List[Rect] = [
+        Rect(
+            die.x_lo + half_width,
+            die.y_lo + half_width,
+            die.x_hi - half_width,
+            die.y_hi - half_width,
+        )
+    ]
+    for obs_layer, rect, _owner in chip.obstruction_shapes():
+        if obs_layer != layer_index:
+            continue
+        hole = rect.expanded(obstacle_clearance(chip, layer_index, rect))
+        next_free: List[Rect] = []
+        for piece in free:
+            next_free.extend(subtract_rect(piece, hole))
+        free = next_free
+        if not free:
+            break
+    return [r for r in free if r.area > 0]
+
+
+class TrackPlan:
+    """Per-layer optimized track coordinates for a chip.
+
+    ``tracks[z]`` is the sorted list of line coordinates on wiring layer z
+    (y-coordinates on horizontal layers, x-coordinates on vertical ones).
+    """
+
+    def __init__(self, chip: Chip, tracks: Dict[int, List[int]]) -> None:
+        self.chip = chip
+        self.tracks = tracks
+
+    def layer_tracks(self, layer_index: int) -> List[int]:
+        return self.tracks[layer_index]
+
+    def usable_track_length(self, layer_index: int) -> int:
+        """Objective value of the plan on one layer (for tests/benches)."""
+        rects = _free_rects_on_layer(self.chip, layer_index)
+        direction = self.chip.stack.direction(layer_index)
+        pieces = coverage_profile(rects, direction)
+        return sum(_coverage_value(pieces, t) for t in self.tracks[layer_index])
+
+
+def build_track_plan(chip: Chip, pin_alignment: bool = True) -> TrackPlan:
+    """Optimize tracks on every layer of ``chip``.
+
+    When ``pin_alignment`` is set, zero-thickness alignment rectangles at
+    pin centre coordinates are added to A so that track positions allowing
+    on-track pin access are rewarded (Sec. 3.5); the alignment reward
+    spans the pin's extent in preferred direction.
+    """
+    tracks: Dict[int, List[int]] = {}
+    for layer in chip.stack:
+        rects = _free_rects_on_layer(chip, layer.index)
+        if pin_alignment:
+            bonus = layer.min_width
+            for pin in chip.all_pins():
+                for pin_layer, rect in pin.shapes:
+                    if pin_layer != layer.index:
+                        continue
+                    cx, cy = rect.center
+                    if layer.direction is Direction.HORIZONTAL:
+                        rects.append(Rect(rect.x_lo, cy, rect.x_hi + bonus, cy))
+                    else:
+                        rects.append(Rect(cx, rect.y_lo, cx, rect.y_hi + bonus))
+        if layer.direction is Direction.HORIZONTAL:
+            span = (chip.die.y_lo + layer.min_width, chip.die.y_hi - layer.min_width)
+        else:
+            span = (chip.die.x_lo + layer.min_width, chip.die.x_hi - layer.min_width)
+        tracks[layer.index] = optimize_tracks(
+            rects, layer.pitch, span, layer.direction
+        )
+    return TrackPlan(chip, tracks)

@@ -1,0 +1,226 @@
+"""Resources and convex consumption functions (Sec. 2.1, Fig. 1).
+
+Every constraint and the objective are *resources*.  A net using edge e
+with allocated space w(n, e) + s consumes:
+
+* **space** on e: gamma(s) = w + s (linear, the solid line of Fig. 1);
+* **power**: coupling capacitance decreases convexly with extra space
+  (dashed line): gamma(s) = length * (floor + coupling / (1 + s/pitch));
+* **yield loss**: the probability of a short between neighbouring wires
+  also falls convexly with spacing (dotted line): same shape, different
+  coefficients.
+
+Edge capacities are resources too (one per edge).  The oracle price of an
+edge (Eq. 1) minimizes the priced resource consumption over the extra
+space s >= 0, which this module solves in closed form: the objective is
+A*s + B/(1 + s/pitch) + const with A, B >= 0, minimized at
+s* = pitch * (sqrt(B / (A * pitch)) - 1), clamped to [0, s_max].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chip.net import Net
+from repro.groute.graph import Edge, GlobalRoutingGraph
+
+#: Names of the global (non-edge) resources.
+GLOBAL_RESOURCES = ("wirelength", "power", "yield")
+
+
+def space_usage(width: float, s: float) -> float:
+    """Space consumed on an edge: w(n, e) + s (track units)."""
+    return width + s
+
+
+def power_usage(length: float, s: float, pitch: float = 1.0) -> float:
+    """Power consumption of a wire with extra space s (Fig. 1, dashed).
+
+    Convex and decreasing in s: the area capacitance stays, the coupling
+    part decays with separation.
+    """
+    return length * (0.4 + 0.6 / (1.0 + s / pitch))
+
+def yield_loss(length: float, s: float, pitch: float = 1.0) -> float:
+    """Expected yield loss (critical area) of a wire (Fig. 1, dotted).
+
+    Shorts between neighbouring wires dominate; their critical area
+    shrinks roughly quadratically with spacing.
+    """
+    return length * (0.1 + 0.9 / (1.0 + s / pitch) ** 2)
+
+
+class ResourceModel:
+    """Capacities, global resource bounds and priced edge costs.
+
+    ``objective`` picks which global resource is the optimization target
+    (the paper optimizes wirelength / power / yield; constraints get hard
+    bounds, the objective gets a guessed achievable bound, Sec. 2.1).
+    """
+
+    def __init__(
+        self,
+        graph: GlobalRoutingGraph,
+        nets: Sequence[Net],
+        objective: str = "wirelength",
+        optimize_spacing: bool = True,
+        max_extra_space: float = 2.0,
+        bounds: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if objective not in GLOBAL_RESOURCES:
+            raise ValueError(f"unknown objective {objective}")
+        self.graph = graph
+        self.nets = list(nets)
+        self.objective = objective
+        self.optimize_spacing = optimize_spacing
+        self.max_extra_space = max_extra_space
+        self._net_width: Dict[str, float] = {
+            net.name: (2.0 if net.wire_type == "wide" else 1.0) for net in self.nets
+        }
+        self.bounds: Dict[str, float] = dict(bounds or {})
+        if not self.bounds:
+            self.bounds = self._default_bounds()
+        # Per-net detour bounds (Sec. 2.1: "constraints bounding, for
+        # instance, detours of certain nets"): each bounded net gets its
+        # own resource "detour:<net>" whose consumption is the net's
+        # wirelength and whose capacity is the allowed total length.
+        self.detour_resources: Dict[str, float] = {}
+        for net in self.nets:
+            if net.detour_bound is not None:
+                name = f"detour:{net.name}"
+                self.detour_resources[net.name] = float(net.detour_bound)
+                self.bounds[name] = float(net.detour_bound)
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def _default_bounds(self) -> Dict[str, float]:
+        """Guess achievable global resource bounds (Sec. 2.1).
+
+        Based on the sum of half-perimeter wirelengths with slack; the
+        paper adapts the guess if needed (binary search), which
+        :class:`repro.groute.sharing.ResourceSharingSolver` also supports.
+        """
+        hpwl = sum(net.half_perimeter() for net in self.nets)
+        hpwl = max(hpwl, 1)
+        return {
+            "wirelength": 1.35 * hpwl,
+            "power": 1.35 * power_usage(hpwl, 0.0),
+            "yield": 1.35 * yield_loss(hpwl, 0.0),
+        }
+
+    def net_width(self, net_name: str) -> float:
+        return self._net_width.get(net_name, 1.0)
+
+    # ------------------------------------------------------------------
+    # Resource usage of a route element
+    # ------------------------------------------------------------------
+    def edge_usage(
+        self, net_name: str, edge: Edge, s: float
+    ) -> Dict[str, float]:
+        """gamma^r(s) for all resources r touched by (net, edge)."""
+        width = self.net_width(net_name)
+        length = self.graph.edge_length(edge)
+        usage = {"space": space_usage(width, s)}
+        if length > 0:
+            usage["wirelength"] = float(length) * width
+            usage["power"] = power_usage(length, s)
+            usage["yield"] = yield_loss(length, s)
+        else:
+            # Vias: count them in the wirelength objective with an
+            # equivalent-length penalty, and in yield (vias are defect
+            # prone, Sec. 1.1).
+            via_penalty = float(self.graph.tile_size) / 4.0
+            usage["wirelength"] = via_penalty * width
+            usage["yield"] = 0.2 * via_penalty
+        if net_name in self.detour_resources:
+            usage[f"detour:{net_name}"] = usage["wirelength"]
+        return usage
+
+    # ------------------------------------------------------------------
+    # Priced edge cost with optimal extra space (Eq. 1)
+    # ------------------------------------------------------------------
+    def priced_edge_cost(
+        self,
+        net_name: str,
+        edge: Edge,
+        edge_price: float,
+        global_prices: Dict[str, float],
+    ) -> Tuple[float, float]:
+        """(cost, s*) of using ``edge``: Eq. 1 minimized over s >= 0.
+
+        ``edge_price`` is y_{r(e)} / u(e); ``global_prices`` maps each
+        global resource to y_r / u^r.
+        """
+        width = self.net_width(net_name)
+        length = float(self.graph.edge_length(edge))
+        capacity = max(self.graph.capacity(edge), 1e-9)
+        price_space = edge_price / capacity
+        usage0 = self.edge_usage(net_name, edge, 0.0)
+        base = price_space * width
+        base += global_prices.get("wirelength", 0.0) * usage0["wirelength"]
+        detour_key = f"detour:{net_name}"
+        if detour_key in usage0:
+            base += global_prices.get(detour_key, 0.0) * usage0[detour_key]
+        if length <= 0 or not self.optimize_spacing:
+            cost = base
+            for resource in ("power", "yield"):
+                if resource in usage0:
+                    cost += global_prices.get(resource, 0.0) * usage0[resource]
+            return cost, 0.0
+        # Power + yield decay terms: p(s) = length * (a + b / (1 + s)),
+        # y(s) = length * (c + d / (1 + s)^2); minimize
+        #   price_space * s + P*b*length/(1+s) + Y*d*length/(1+s)^2.
+        # A closed form exists for each term alone; with both we use a
+        # short golden-section search on the (convex) sum.
+        price_power = global_prices.get("power", 0.0)
+        price_yield = global_prices.get("yield", 0.0)
+
+        def objective(s: float) -> float:
+            value = price_space * s
+            value += price_power * power_usage(length, s)
+            value += price_yield * yield_loss(length, s)
+            return value
+
+        s_star = _minimize_convex(objective, 0.0, self.max_extra_space)
+        return base + objective(s_star), s_star
+
+    def usage_summary(
+        self, routes: Dict[str, "object"]
+    ) -> Dict[str, float]:
+        """Total global resource usage of a set of GlobalRoute objects."""
+        totals = {name: 0.0 for name in GLOBAL_RESOURCES}
+        for route in routes.values():
+            for edge in route.edges:
+                s = route.extra_space.get(edge, 0.0)
+                usage = self.edge_usage(route.net_name, edge, s)
+                for name in GLOBAL_RESOURCES:
+                    if name in usage:
+                        totals[name] += usage[name]
+        return totals
+
+
+def _minimize_convex(
+    objective: Callable[[float], float], lo: float, hi: float, tol: float = 1e-3
+) -> float:
+    """Golden-section minimum of a convex 1-D function on [lo, hi]."""
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = objective(c), objective(d)
+    while b - a > tol:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = objective(d)
+    best = (a + b) / 2.0
+    for candidate in (lo, best):
+        if objective(candidate) <= objective(best):
+            best = candidate
+    return best

@@ -1,0 +1,368 @@
+"""Min-max resource sharing (Sec. 2.3, Algorithm 2).
+
+The Mueller-Radke-Vygen multiplicative-weights scheme: in each of t
+phases, every net gets a solution from the block oracle under current
+resource prices; prices grow exponentially with usage
+(y_r *= exp(eps * g_n^r(b))).  The average over phases is the fractional
+solution; with t = ceil(96 ln|R| / omega^2) and eps = omega/12 it is a
+sigma(1 + omega)-approximation (Thm 2.2).  In practice t = 125 and
+eps = 1 work well (Sec. 2.3); both are parameters here.
+
+Speed-ups from the paper implemented:
+
+* *solution reuse*: the oracle is skipped when the previous solution's
+  cost under current prices is still within a factor of its original
+  cost (the resources it uses have not become much more expensive);
+* prices are maintained as logarithms to avoid overflow with large t.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chip.net import Net
+from repro.groute.graph import Edge, GlobalRoutingGraph
+from repro.groute.resources import GLOBAL_RESOURCES, ResourceModel
+from repro.groute.steiner_oracle import (
+    OracleResult,
+    path_composition_steiner_tree,
+)
+
+#: One candidate solution of a net: frozen edge set + extra space tuple.
+SolutionKey = Tuple[Tuple[Edge, ...], Tuple[float, ...]]
+
+
+def _solution_key(result: OracleResult) -> SolutionKey:
+    edges = tuple(sorted(result.edges))
+    spaces = tuple(result.extra_space.get(edge, 0.0) for edge in edges)
+    return (edges, spaces)
+
+
+class FractionalSolution:
+    """Convex combinations x_{n, b} per net plus the final prices."""
+
+    def __init__(self) -> None:
+        #: net -> {solution key -> weight}; weights per net sum to 1.
+        self.weights: Dict[str, Dict[SolutionKey, float]] = {}
+        self.prices: Dict[object, float] = {}
+        self.phases_run = 0
+        self.oracle_calls = 0
+        self.oracle_reuses = 0
+        self.oracle_time = 0.0
+        self.max_congestion = 0.0
+
+    def support(self, net_name: str) -> List[Tuple[SolutionKey, float]]:
+        return sorted(
+            self.weights.get(net_name, {}).items(), key=lambda kv: -kv[1]
+        )
+
+
+class ResourceSharingSolver:
+    """Algorithm 2 over the global routing graph."""
+
+    def __init__(
+        self,
+        graph: GlobalRoutingGraph,
+        model: ResourceModel,
+        phases: int = 125,
+        epsilon: float = 1.0,
+        reuse_threshold: float = 1.5,
+        potential_scale: float = 0.0,
+        use_landmarks: bool = False,
+        landmark_count: int = 4,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.phases = phases
+        self.epsilon = epsilon
+        #: Reuse the previous solution while its current-price cost is
+        #: below reuse_threshold x its cost when it was computed.
+        self.reuse_threshold = reuse_threshold
+        self.potential_scale = potential_scale
+        # Goal orientation with landmarks (Sec. 2.2): ALT potentials under
+        # the unpriced length metric, scaled by the minimum per-length
+        # price (y_wirelength >= 1 throughout Algorithm 2) to stay
+        # admissible against priced edge costs.
+        self._landmarks = None
+        if use_landmarks:
+            from repro.groute.landmarks import LandmarkOracle
+
+            self._landmarks = LandmarkOracle(graph, landmark_count)
+        # Log-prices: resource -> ln(y_r); edges keyed by Edge, globals by
+        # name.  Initialized to ln(1) = 0 (Algorithm 2, line 1).
+        self._log_price: Dict[object, float] = {}
+
+    def _potential_factory(self):
+        if self._landmarks is None:
+            return None
+        scale = 1.0 / self.model.bounds["wirelength"]
+        landmarks = self._landmarks
+
+        def factory(targets):
+            base = landmarks.potential_to(sorted(targets))
+
+            def potential(node):
+                return base(node) * scale
+
+            return potential
+
+        return factory
+
+    # ------------------------------------------------------------------
+    # Prices
+    # ------------------------------------------------------------------
+    def _edge_price(self, edge: Edge) -> float:
+        return math.exp(self._log_price.get(edge, 0.0))
+
+    def _global_prices(self) -> Dict[str, float]:
+        out = {}
+        for name, bound in self.model.bounds.items():
+            out[name] = math.exp(self._log_price.get(name, 0.0)) / bound
+        return out
+
+    def _edge_cost_fn(self):
+        global_prices = self._global_prices()
+
+        def edge_cost(net_name: str, edge: Edge) -> Tuple[float, float]:
+            return self.model.priced_edge_cost(
+                net_name, edge, self._edge_price(edge), global_prices
+            )
+
+        return edge_cost
+
+    # ------------------------------------------------------------------
+    # Resource usage g_n^r(b)
+    # ------------------------------------------------------------------
+    def _usages(
+        self, net_name: str, key: SolutionKey
+    ) -> Tuple[Dict[Edge, float], Dict[str, float]]:
+        """(edge usage g_{r(e)}, global usage g_r) of one solution."""
+        edges, spaces = key
+        edge_usage: Dict[Edge, float] = {}
+        global_usage: Dict[str, float] = {}
+        for edge, s in zip(edges, spaces):
+            capacity = max(self.graph.capacity(edge), 1e-9)
+            usage = self.model.edge_usage(net_name, edge, s)
+            edge_usage[edge] = usage["space"] / capacity
+            for name, value in usage.items():
+                if name == "space":
+                    continue
+                bound = self.model.bounds.get(name)
+                if bound:
+                    global_usage[name] = (
+                        global_usage.get(name, 0.0) + value / bound
+                    )
+        return edge_usage, global_usage
+
+    def _solution_price(self, net_name: str, key: SolutionKey) -> float:
+        """sum_r y_r g_n^r(b) under current prices."""
+        edge_usage, global_usage = self._usages(net_name, key)
+        total = 0.0
+        for edge, usage in edge_usage.items():
+            total += math.exp(self._log_price.get(edge, 0.0)) * usage
+        for name, usage in global_usage.items():
+            total += math.exp(self._log_price.get(name, 0.0)) * usage
+        return total
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, nets: Sequence[Net]) -> FractionalSolution:
+        solution = FractionalSolution()
+        counts: Dict[str, Dict[SolutionKey, int]] = {net.name: {} for net in nets}
+        terminals = {
+            net.name: self.graph.net_terminals(net) for net in nets
+        }
+        previous: Dict[str, Tuple[SolutionKey, float]] = {}
+        for _phase in range(self.phases):
+            solution.phases_run += 1
+            for net in nets:
+                key = None
+                cached = previous.get(net.name)
+                if cached is not None:
+                    cached_key, cached_cost = cached
+                    current_cost = self._solution_price(net.name, cached_key)
+                    if current_cost <= self.reuse_threshold * cached_cost:
+                        key = cached_key
+                        solution.oracle_reuses += 1
+                if key is None:
+                    start = time.time()
+                    result = path_composition_steiner_tree(
+                        self.graph,
+                        net.name,
+                        terminals[net.name],
+                        self._edge_cost_fn(),
+                        self.potential_scale,
+                        potential_factory=self._potential_factory(),
+                    )
+                    solution.oracle_time += time.time() - start
+                    solution.oracle_calls += 1
+                    if result is None:
+                        continue
+                    key = _solution_key(result)
+                    previous[net.name] = (key, self._solution_price(net.name, key))
+                counts[net.name][key] = counts[net.name].get(key, 0) + 1
+                # Price update (Algorithm 2, line 7).
+                edge_usage, global_usage = self._usages(net.name, key)
+                for edge, usage in edge_usage.items():
+                    if usage > 0:
+                        self._log_price[edge] = (
+                            self._log_price.get(edge, 0.0) + self.epsilon * usage
+                        )
+                for name, usage in global_usage.items():
+                    if usage > 0:
+                        self._log_price[name] = (
+                            self._log_price.get(name, 0.0) + self.epsilon * usage
+                        )
+        # Average over phases (Algorithm 2, line 10).
+        for net_name, net_counts in counts.items():
+            total = sum(net_counts.values())
+            if total == 0:
+                continue
+            solution.weights[net_name] = {
+                key: count / total for key, count in net_counts.items()
+            }
+        solution.prices = {
+            resource: math.exp(value) for resource, value in self._log_price.items()
+        }
+        solution.max_congestion = self.fractional_congestion(solution)
+        return solution
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def fractional_congestion(self, solution: FractionalSolution) -> float:
+        """max_r sum_n g_n^r of the fractional solution (lambda)."""
+        edge_total: Dict[Edge, float] = {}
+        global_total: Dict[str, float] = {}
+        for net_name, weights in solution.weights.items():
+            for key, weight in weights.items():
+                edge_usage, global_usage = self._usages(net_name, key)
+                for edge, usage in edge_usage.items():
+                    edge_total[edge] = edge_total.get(edge, 0.0) + weight * usage
+                for name, usage in global_usage.items():
+                    global_total[name] = (
+                        global_total.get(name, 0.0) + weight * usage
+                    )
+        worst = max(global_total.values(), default=0.0)
+        if edge_total:
+            worst = max(worst, max(edge_total.values()))
+        return worst
+
+
+def solve_with_scaling(
+    graph: GlobalRoutingGraph,
+    model: ResourceModel,
+    nets: Sequence[Net],
+    phases: int = 40,
+    probe_phases: int = 8,
+    max_rounds: int = 4,
+    target: Tuple[float, float] = (0.4, 1.05),
+    **solver_kwargs,
+) -> Tuple[FractionalSolution, List[float]]:
+    """The scaling framework of Sec. 2.3.
+
+    The approximation guarantee of Algorithm 2 needs lambda* in [1/2, 1];
+    when the guessed objective bounds are off, the paper rescales all
+    (global) resources - "for instance, by binary search".  This probes
+    with few phases, multiplies the global bounds by the observed lambda
+    until it lands in ``target``, then runs the full solve.
+
+    Returns (solution, probe lambda history).
+    """
+    history: List[float] = []
+    lo, hi = target
+    for _round in range(max_rounds):
+        probe = ResourceSharingSolver(
+            graph, model, phases=probe_phases, **solver_kwargs
+        )
+        fractional = probe.solve(nets)
+        lam = fractional.max_congestion
+        history.append(lam)
+        if lo <= lam <= hi or lam <= 0.0:
+            break
+        # Scale global bounds so the congestion normalizes towards 1.
+        for name in list(model.bounds):
+            model.bounds[name] *= lam
+    solver = ResourceSharingSolver(graph, model, phases=phases, **solver_kwargs)
+    return solver.solve(nets), history
+
+
+def solve_parallel_simulated(
+    graph: GlobalRoutingGraph,
+    model: ResourceModel,
+    nets: Sequence[Net],
+    threads: int = 4,
+    phases: int = 40,
+    epsilon: float = 1.0,
+    **solver_kwargs,
+) -> FractionalSolution:
+    """Simulate the shared-memory parallel resource sharing of Sec. 5.1.
+
+    In the parallel implementation several threads run oracles against
+    the *same* price vector concurrently; prices they read are stale by
+    up to one block of concurrent work.  Mueller et al. [2011] prove the
+    volatility-tolerant block solvers keep the approximation guarantee.
+    This simulation reproduces the staleness deterministically: each
+    phase splits the nets into ``threads`` blocks; within a block every
+    oracle sees the same price snapshot, and the price updates of the
+    whole block are applied only after it completes.
+
+    Returns a FractionalSolution comparable to the serial solver's.
+    """
+    solver = ResourceSharingSolver(
+        graph, model, phases=phases, epsilon=epsilon, **solver_kwargs
+    )
+    solution = FractionalSolution()
+    counts: Dict[str, Dict[SolutionKey, int]] = {net.name: {} for net in nets}
+    terminals = {net.name: graph.net_terminals(net) for net in nets}
+    ordered = list(nets)
+    for phase in range(phases):
+        solution.phases_run += 1
+        for block_start in range(0, len(ordered), max(threads, 1)):
+            block = ordered[block_start:block_start + max(threads, 1)]
+            # One snapshot for the whole block: the concurrent reads.
+            edge_cost = solver._edge_cost_fn()
+            block_updates = []
+            for net in block:
+                start = time.time()
+                result = path_composition_steiner_tree(
+                    graph, net.name, terminals[net.name], edge_cost,
+                    solver.potential_scale,
+                )
+                solution.oracle_time += time.time() - start
+                solution.oracle_calls += 1
+                if result is None:
+                    continue
+                key = _solution_key(result)
+                counts[net.name][key] = counts[net.name].get(key, 0) + 1
+                block_updates.append((net.name, key))
+            # Prices advance only after the block (batched writes).
+            for net_name, key in block_updates:
+                edge_usage, global_usage = solver._usages(net_name, key)
+                for edge, usage in edge_usage.items():
+                    if usage > 0:
+                        solver._log_price[edge] = (
+                            solver._log_price.get(edge, 0.0)
+                            + epsilon * usage
+                        )
+                for name, usage in global_usage.items():
+                    if usage > 0:
+                        solver._log_price[name] = (
+                            solver._log_price.get(name, 0.0)
+                            + epsilon * usage
+                        )
+    for net_name, net_counts in counts.items():
+        total = sum(net_counts.values())
+        if total:
+            solution.weights[net_name] = {
+                key: count / total for key, count in net_counts.items()
+            }
+    solution.prices = {
+        resource: math.exp(value)
+        for resource, value in solver._log_price.items()
+    }
+    solution.max_congestion = solver.fractional_congestion(solution)
+    return solution

@@ -1,0 +1,29 @@
+"""Interchange I/O: a DEF-flavoured text format for chips and routes.
+
+Downstream users need to persist instances and inspect routing results
+outside Python; this package provides a small line-oriented text format
+(in the spirit of LEF/DEF) with a writer and parser that round-trip
+losslessly.
+"""
+
+from repro.io.textformat import (
+    dump_chip,
+    load_chip,
+    dump_routes,
+    load_routes,
+    write_chip_file,
+    read_chip_file,
+    write_routes_file,
+    read_routes_file,
+)
+
+__all__ = [
+    "dump_chip",
+    "load_chip",
+    "dump_routes",
+    "load_routes",
+    "write_chip_file",
+    "read_chip_file",
+    "write_routes_file",
+    "read_routes_file",
+]

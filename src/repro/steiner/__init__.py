@@ -1,0 +1,22 @@
+"""Rectilinear Steiner tree baselines.
+
+The paper measures detours against Steiner lengths that are exact for
+nets with at most 9 terminals (via FLUTE [Chu & Wong 2008]) and
+near-minimum for larger nets (heuristics).  This package provides the
+same: an exact Dreyfus-Wagner solver on the Hanan grid for small nets and
+a greedy Steiner-point-insertion heuristic above.
+"""
+
+from repro.steiner.rsmt import (
+    rectilinear_mst_length,
+    exact_steiner_length,
+    heuristic_steiner_length,
+    steiner_length,
+)
+
+__all__ = [
+    "rectilinear_mst_length",
+    "exact_steiner_length",
+    "heuristic_steiner_length",
+    "steiner_length",
+]

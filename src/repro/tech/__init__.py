@@ -1,0 +1,41 @@
+"""Technology model: layer stack, design rules, wire and via models.
+
+This package encodes everything the routers need to know about the target
+process: which layers exist and in which direction they prefer to run
+(Sec. 1.1), how far shapes of different nets must stay apart as a function
+of width and run-length (Sec. 3.1), which same-net configurations are
+forbidden (Sec. 3.7), and how one-dimensional stick figures expand into
+metal (Sec. 3.2).
+"""
+
+from repro.tech.layers import Direction, Layer, LayerStack
+from repro.tech.rules import (
+    SpacingRule,
+    SameNetRules,
+    RuleSet,
+)
+from repro.tech.wiring import (
+    ShapeClass,
+    WireModel,
+    ViaModel,
+    WireType,
+    StickFigure,
+)
+from repro.tech.stacks import example_stack, example_rules, example_wiretypes
+
+__all__ = [
+    "Direction",
+    "Layer",
+    "LayerStack",
+    "SpacingRule",
+    "SameNetRules",
+    "RuleSet",
+    "ShapeClass",
+    "WireModel",
+    "ViaModel",
+    "WireType",
+    "StickFigure",
+    "example_stack",
+    "example_rules",
+    "example_wiretypes",
+]

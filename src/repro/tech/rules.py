@@ -1,0 +1,145 @@
+"""Design rules: diff-net spacing tables and same-net rules.
+
+Diff-net rules (Sec. 3.1): the required distance between two shapes of
+different nets is a non-decreasing function of their widths and common
+run-length, mostly in the l2 metric.  We model this as a step table over
+(width, run-length), the standard form in technology files.  Line-ends
+require increased spacing; BonnRoute's pessimistic/optimistic line-end
+policy (extend every preferred-direction shape, never extend jogs) is
+implemented in ``repro.tech.wiring``.
+
+Same-net rules (Sec. 3.7): minimum segment length tau (subsuming notch and
+short-edge avoidance for paths, following Nieberg [2011] / Massberg &
+Nieberg [2012]), minimum edge length on polygon boundaries, and minimum
+polygon area.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class SpacingRule:
+    """Width / run-length dependent spacing table for one layer.
+
+    ``table`` holds rows ``(min_width, min_run_length, spacing)``; the
+    required spacing for a pair of shapes is the maximum ``spacing`` over
+    all rows whose thresholds both are met by (max pair width, run-length).
+    A default row ``(0, 0, base_spacing)`` must exist, so every query has a
+    defined value, and spacing is non-decreasing in both parameters by
+    construction of the max.
+    """
+
+    def __init__(
+        self,
+        base_spacing: int,
+        table: Sequence[Tuple[int, int, int]] = (),
+        line_end_threshold: int = 0,
+        line_end_extra: int = 0,
+    ) -> None:
+        if base_spacing < 0:
+            raise ValueError("base spacing must be non-negative")
+        self.base_spacing = base_spacing
+        self.table: List[Tuple[int, int, int]] = [(0, 0, base_spacing)]
+        for min_width, min_run, spacing in table:
+            if spacing < base_spacing:
+                raise ValueError("table spacing below base spacing")
+            self.table.append((min_width, min_run, spacing))
+        self.table.sort()
+        # A line-end is an edge between two convex vertices closer than the
+        # threshold (Sec. 3.1); shapes facing a line-end need extra spacing.
+        self.line_end_threshold = line_end_threshold
+        self.line_end_extra = line_end_extra
+
+    def spacing(self, width_a: int, width_b: int, run_length: int) -> int:
+        """Required distance for a shape pair of given widths / run-length."""
+        width = max(width_a, width_b)
+        required = self.base_spacing
+        for min_width, min_run, spacing in self.table:
+            if width >= min_width and run_length >= min_run:
+                required = max(required, spacing)
+        return required
+
+    def spacing_with_line_end(
+        self, width_a: int, width_b: int, run_length: int, has_line_end: bool
+    ) -> int:
+        required = self.spacing(width_a, width_b, run_length)
+        if has_line_end:
+            required += self.line_end_extra
+        return required
+
+    def max_spacing(self) -> int:
+        """Upper bound on any spacing this rule can require (query radius)."""
+        return max(s for _, _, s in self.table) + self.line_end_extra
+
+
+class SameNetRules:
+    """Same-net rules for one layer (Sec. 3.7)."""
+
+    def __init__(
+        self,
+        min_segment_length: int,
+        min_area: int,
+        min_edge_length: int,
+        notch_spacing: int,
+    ) -> None:
+        # tau: every wire segment must be at least this long.  Massberg &
+        # Nieberg [2012] show most same-net rules map to this requirement.
+        self.min_segment_length = min_segment_length
+        # Every connected metal polygon must have at least this area.
+        self.min_area = min_area
+        # Of any two adjacent boundary edges, at least one must be >= this.
+        self.min_edge_length = min_edge_length
+        # Non-adjacent segments of the same path must keep this distance.
+        self.notch_spacing = notch_spacing
+
+
+class ViaRule:
+    """Inter-layer via rule: minimum distance between via cuts in adjacent
+    via layers (Sec. 3.1), checked via cut projections (Sec. 3.2)."""
+
+    def __init__(self, cut_spacing: int, adjacent_layer_spacing: int = 0) -> None:
+        self.cut_spacing = cut_spacing
+        self.adjacent_layer_spacing = adjacent_layer_spacing
+
+
+class RuleSet:
+    """All design rules of a technology, indexed by layer.
+
+    ``spacing_rules`` maps wiring layer index -> SpacingRule;
+    ``same_net`` maps wiring layer index -> SameNetRules;
+    ``via_rules`` maps via layer index -> ViaRule.
+    """
+
+    def __init__(
+        self,
+        spacing_rules: Dict[int, SpacingRule],
+        same_net: Dict[int, SameNetRules],
+        via_rules: Optional[Dict[int, ViaRule]] = None,
+    ) -> None:
+        self.spacing_rules = dict(spacing_rules)
+        self.same_net = dict(same_net)
+        self.via_rules = dict(via_rules or {})
+
+    def spacing_rule(self, layer: int) -> SpacingRule:
+        try:
+            return self.spacing_rules[layer]
+        except KeyError:
+            raise KeyError(f"no spacing rule for layer {layer}") from None
+
+    def same_net_rules(self, layer: int) -> SameNetRules:
+        try:
+            return self.same_net[layer]
+        except KeyError:
+            raise KeyError(f"no same-net rules for layer {layer}") from None
+
+    def via_rule(self, via_layer: int) -> Optional[ViaRule]:
+        return self.via_rules.get(via_layer)
+
+    def max_interaction_distance(self, layer: int) -> int:
+        """Largest distance at which shapes on ``layer`` can interact.
+
+        Bounds the neighbourhood the shape grid must inspect for any
+        diff-net query on this layer.
+        """
+        return self.spacing_rule(layer).max_spacing()

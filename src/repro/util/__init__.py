@@ -1,0 +1,16 @@
+"""Generic data structures used across the BonnRoute reproduction.
+
+These are the low-level substrates the paper's data structures are built on:
+an AVL tree (the shape grid stores its interval rows in AVL trees, Sec. 3.3),
+an addressable binary heap (priority queue for all Dijkstra variants), a
+union-find structure (net connectivity components, Sec. 4.4), and seeded
+random-number helpers (randomized rounding, Sec. 2.4, and the synthetic chip
+generator).
+"""
+
+from repro.util.avl import AVLTree
+from repro.util.heap import AddressableHeap
+from repro.util.unionfind import UnionFind
+from repro.util.rng import make_rng
+
+__all__ = ["AVLTree", "AddressableHeap", "UnionFind", "make_rng"]

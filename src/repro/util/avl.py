@@ -1,0 +1,309 @@
+"""A self-balancing (AVL) binary search tree mapping ordered keys to values.
+
+The shape grid (Sec. 3.3 of the paper) stores, for every row or column of
+cells, the non-empty cell intervals "in an AVL-tree".  This module provides
+that tree as a general ordered map with the operations the grid layers need:
+exact lookup, insertion, deletion, predecessor/successor queries, and ordered
+range iteration.
+
+The implementation is iterative-free recursive AVL with parent-less nodes;
+heights are maintained explicitly.  All operations are O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """Ordered map with O(log n) insert, delete, lookup and neighbour queries.
+
+    Keys must be mutually comparable.  Iteration yields ``(key, value)``
+    pairs in increasing key order.
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def __getitem__(self, key: Any) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.insert(key, value)
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` -> ``value``, replacing any existing value."""
+        inserted = [False]
+
+        def _insert(node: Optional[_Node]) -> _Node:
+            if node is None:
+                inserted[0] = True
+                return _Node(key, value)
+            if key < node.key:
+                node.left = _insert(node.left)
+            elif node.key < key:
+                node.right = _insert(node.right)
+            else:
+                node.value = value
+                return node
+            return _rebalance(node)
+
+        self._root = _insert(self._root)
+        if inserted[0]:
+            self._size += 1
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key``; raises KeyError if absent."""
+        removed = [False]
+
+        def _min_node(node: _Node) -> _Node:
+            while node.left is not None:
+                node = node.left
+            return node
+
+        def _delete(node: Optional[_Node], key: Any) -> Optional[_Node]:
+            if node is None:
+                raise KeyError(key)
+            if key < node.key:
+                node.left = _delete(node.left, key)
+            elif node.key < key:
+                node.right = _delete(node.right, key)
+            else:
+                removed[0] = True
+                if node.left is None:
+                    return node.right
+                if node.right is None:
+                    return node.left
+                successor = _min_node(node.right)
+                node.key = successor.key
+                node.value = successor.value
+                removed[0] = False
+                node.right = _delete(node.right, successor.key)
+                removed[0] = True
+            return _rebalance(node)
+
+        self._root = _delete(self._root, key)
+        if removed[0]:
+            self._size -= 1
+
+    def pop(self, key: Any, default: Any = ...) -> Any:
+        node = self._find(key)
+        if node is None:
+            if default is ...:
+                raise KeyError(key)
+            return default
+        value = node.value
+        self.delete(key)
+        return value
+
+    def min_item(self) -> Tuple[Any, Any]:
+        if self._root is None:
+            raise KeyError("min_item on empty tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def max_item(self) -> Tuple[Any, Any]:
+        if self._root is None:
+            raise KeyError("max_item on empty tree")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    def floor_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Largest (k, v) with k <= key, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.key < key:
+                best = node
+                node = node.right
+            elif key < node.key:
+                node = node.left
+            else:
+                return node.key, node.value
+        return (best.key, best.value) if best is not None else None
+
+    def ceiling_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest (k, v) with k >= key, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if key < node.key:
+                best = node
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node.key, node.value
+        return (best.key, best.value) if best is not None else None
+
+    def lower_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Largest (k, v) with k < key, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def higher_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest (k, v) with k > key, or None."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if key < node.key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return self.items()
+
+    def items(self, lo: Any = None, hi: Any = None) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs with lo <= key <= hi in key order.
+
+        ``None`` bounds are unbounded.  Uses an explicit stack so that
+        deep trees cannot hit the recursion limit.
+        """
+        stack = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                if lo is not None and node.key < lo:
+                    node = node.right
+                    continue
+                stack.append(node)
+                node = node.left
+            if not stack:
+                return
+            node = stack.pop()
+            if hi is not None and hi < node.key:
+                return
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        for _, value in self.items():
+            yield value
+
+    def check_invariants(self) -> None:
+        """Validate BST ordering and AVL balance (for tests)."""
+
+        def _check(node: Optional[_Node]) -> Tuple[int, Any, Any]:
+            if node is None:
+                return 0, None, None
+            left_height, left_min, left_max = _check(node.left)
+            right_height, right_min, right_max = _check(node.right)
+            if left_max is not None and not (left_max < node.key):
+                raise AssertionError("BST order violated (left)")
+            if right_min is not None and not (node.key < right_min):
+                raise AssertionError("BST order violated (right)")
+            if abs(left_height - right_height) > 1:
+                raise AssertionError("AVL balance violated")
+            height = 1 + max(left_height, right_height)
+            if height != node.height:
+                raise AssertionError("stale height")
+            lo = left_min if left_min is not None else node.key
+            hi = right_max if right_max is not None else node.key
+            return height, lo, hi
+
+        _check(self._root)

@@ -1,0 +1,46 @@
+"""Seeded random-number helpers.
+
+Every stochastic component (randomized rounding of the fractional global
+routing, Sec. 2.4, and the synthetic chip generator) takes an explicit seed
+so that tests and benchmarks are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+def make_rng(seed: Optional[int]) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically.
+
+    ``None`` maps to a fixed default seed rather than OS entropy: the
+    reproduction must be deterministic unless the caller explicitly varies
+    the seed.
+    """
+    return random.Random(0xB0A2 if seed is None else seed)
+
+
+def weighted_choice(rng: random.Random, weights: Sequence[float]) -> int:
+    """Sample an index proportionally to non-negative ``weights``.
+
+    Used by randomized rounding to pick one Steiner forest from the convex
+    combination returned by the resource sharing algorithm.
+    """
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weighted_choice needs a positive total weight")
+    pick = rng.random() * total
+    acc = 0.0
+    for index, weight in enumerate(weights):
+        acc += weight
+        if pick < acc:
+            return index
+    return len(weights) - 1
+
+
+def sample_distinct(rng: random.Random, population: int, k: int) -> List[int]:
+    """k distinct integers from range(population), sorted, deterministic."""
+    if k > population:
+        raise ValueError("cannot sample more items than the population size")
+    return sorted(rng.sample(range(population), k))

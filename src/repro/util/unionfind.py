@@ -1,0 +1,77 @@
+"""Union-find (disjoint sets) with path compression and union by rank.
+
+Used to track the connected components of a net while the detailed router
+closes one connection at a time (Sec. 4.4), and by the opens counter of the
+DRC checker ("number of connected components minus number of nets").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements.
+
+    Elements are added lazily on first use; ``find`` on an unseen element
+    creates a singleton set for it.
+    """
+
+    def __init__(self, elements: Iterable[Any] = ()) -> None:
+        self._parent: Dict[Any, Any] = {}
+        self._rank: Dict[Any, int] = {}
+        self._count = 0
+        for element in elements:
+            self.add(element)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._parent
+
+    @property
+    def component_count(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def add(self, element: Any) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Any) -> Any:
+        if element not in self._parent:
+            self.add(element)
+            return element
+        root = element
+        parent = self._parent
+        while parent[root] is not root and parent[root] != root:
+            root = parent[root]
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: Any, b: Any) -> bool:
+        """Merge the sets of a and b; return True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Any, b: Any) -> bool:
+        return self.find(a) == self.find(b)
+
+    def components(self) -> List[List[Any]]:
+        """Return all sets as lists (order deterministic by insertion)."""
+        groups: Dict[Any, List[Any]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), []).append(element)
+        return list(groups.values())

@@ -1,0 +1,206 @@
+"""Tests for the DRC checker, the baseline ISR, and both end-to-end flows."""
+
+import pytest
+
+from repro.baseline.cleanup import DrcCleanup
+from repro.baseline.isr_detailed import IsrDetailedRouter
+from repro.baseline.isr_global import IsrGlobalRouter
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.drc.checker import DrcChecker
+from repro.droute.space import RoutingSpace
+from repro.flow.bonnroute import BonnRouteFlow
+from repro.flow.isr_flow import IsrFlow
+from repro.flow.stats import collect_metrics, scenic_nets
+from repro.tech.wiring import StickFigure
+
+SPEC = ChipSpec("flowtest", rows=3, row_width_cells=6, net_count=10, seed=7)
+
+
+@pytest.fixture(scope="module")
+def br_result():
+    return BonnRouteFlow(generate_chip(SPEC), gr_phases=10, seed=1).run()
+
+
+@pytest.fixture(scope="module")
+def isr_result():
+    return IsrFlow(generate_chip(SPEC)).run()
+
+
+class TestDrcChecker:
+    def test_empty_chip_no_violations(self):
+        chip = generate_chip(ChipSpec("drc0", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        report = DrcChecker(space).run()
+        assert report.violations == []
+        # Unrouted nets: each pin is its own component.
+        expected_opens = sum(n.terminal_count - 1 for n in chip.nets)
+        assert report.opens == expected_opens
+
+    def test_detects_planted_spacing_violation(self):
+        chip = generate_chip(ChipSpec("drc1", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        z = 5
+        y = space.graph.tracks[z][2]
+        space.add_wire("a_net", "default", StickFigure(z, 1000, y, 2000, y))
+        # 20 dbu below the required 80 spacing of the thick layer.
+        space.add_wire("b_net", "default", StickFigure(z, 1000, y + 80 + 60, 2000, y + 80 + 60))
+        report = DrcChecker(space).run(same_net=False, opens=False)
+        assert any(
+            v.kind == "spacing" and set(v.nets) == {"a_net", "b_net"}
+            for v in report.violations
+        )
+
+    def test_detects_min_segment(self):
+        chip = generate_chip(ChipSpec("drc2", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        space.add_wire("s_net", "default", StickFigure(5, 1000, 1000, 1050, 1000))
+        report = DrcChecker(space).run(spacing=False, opens=False)
+        assert any(v.kind == "min_segment" for v in report.violations)
+
+    def test_no_false_positives_on_legal_pair(self):
+        chip = generate_chip(ChipSpec("drc3", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        z = 5
+        y = space.graph.tracks[z][2]
+        space.add_wire("a_net", "default", StickFigure(z, 1000, y, 3000, y))
+        space.add_wire("b_net", "default", StickFigure(z, 1000, y + 160, 3000, y + 160))
+        report = DrcChecker(space).run(same_net=False, opens=False)
+        spacing = [v for v in report.violations if set(v.nets) == {"a_net", "b_net"}]
+        assert spacing == []
+
+
+class TestBaselineIsr:
+    def test_isr_global_runs(self):
+        chip = generate_chip(SPEC)
+        result = IsrGlobalRouter(chip).run()
+        assert result.routes
+        assert result.wire_length() > 0
+
+    def test_isr_layer_assignment_produces_vias(self):
+        chip = generate_chip(SPEC)
+        result = IsrGlobalRouter(chip).run()
+        assert result.via_count() > 0
+
+    def test_isr_detailed_runs(self):
+        chip = generate_chip(ChipSpec("isrd", rows=2, row_width_cells=4, net_count=5, seed=3))
+        space = RoutingSpace(chip)
+        router = IsrDetailedRouter(space, track_assignment=True)
+        result = router.run()
+        assert len(result.routed) >= len(chip.nets) - 2
+
+
+class TestCleanup:
+    def test_cleanup_reduces_or_keeps_errors(self, br_result):
+        # The flow already ran cleanup; rerunning must not increase errors.
+        space = br_result.space
+        before = DrcChecker(space).run().error_count
+        report = DrcCleanup(space, max_passes=1).run()
+        assert report.remaining_errors <= before + 2
+
+
+class TestFlows:
+    def test_br_flow_routes_everything(self, br_result):
+        detailed = br_result.detailed_result
+        assert len(detailed.failed) <= 1
+        assert br_result.metrics is not None
+
+    def test_br_metrics_structure(self, br_result):
+        row = br_result.metrics.as_dict()
+        for key in ("chip", "netlength", "vias", "scenic_25", "scenic_50",
+                    "errors", "time_total_s", "time_br_s", "memory_mb"):
+            assert key in row
+        assert row["time_br_s"] <= row["time_total_s"]
+
+    def test_isr_flow_runs(self, isr_result):
+        assert isr_result.metrics is not None
+        assert isr_result.metrics.netlength > 0
+
+    def test_table1_shape_netlength(self, br_result, isr_result):
+        """Table I's headline: BR+ISR netlength below ISR's."""
+        assert br_result.metrics.netlength < isr_result.metrics.netlength
+
+    def test_table1_shape_scenics(self, br_result, isr_result):
+        assert (
+            br_result.metrics.scenic_25 <= isr_result.metrics.scenic_25 + 1
+        )
+
+    def test_scenic_nets_monotone_in_threshold(self, br_result):
+        space = br_result.space
+        assert len(scenic_nets(space, 0.50)) <= len(scenic_nets(space, 0.25))
+
+    def test_collect_metrics_counts_errors(self, br_result):
+        metrics = collect_metrics(br_result.space, runtime_total=1.0)
+        assert metrics.errors == metrics.drc_report.error_count
+
+
+class TestNotchRule:
+    def test_planted_notch_detected(self):
+        chip = generate_chip(ChipSpec("notch1", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        z = 5
+        y = space.graph.tracks[z][2]
+        # Two parallel same-net arms whose metal gap (60) is below the
+        # notch spacing (80) - the U-shape of Sec. 3.7.
+        space.add_wire("u_net", "default", StickFigure(z, 1000, y, 2000, y))
+        space.add_wire("u_net", "default", StickFigure(z, 1000, y + 140, 2000, y + 140))
+        report = DrcChecker(space).run(spacing=False, opens=False)
+        assert any(v.kind == "notch" for v in report.violations)
+
+    def test_touching_pieces_are_not_notches(self):
+        chip = generate_chip(ChipSpec("notch2", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        z = 5
+        y = space.graph.tracks[z][2]
+        # An L: the pieces touch, so they are one polygon, not a notch.
+        space.add_wire("l_net", "default", StickFigure(z, 1000, y, 2000, y))
+        space.add_wire("l_net", "default", StickFigure(z, 2000, y, 2000, y + 480))
+        report = DrcChecker(space).run(spacing=False, opens=False)
+        assert not any(v.kind == "notch" for v in report.violations)
+
+    def test_far_pieces_are_clean(self):
+        chip = generate_chip(ChipSpec("notch3", rows=2, row_width_cells=4, net_count=4, seed=2))
+        space = RoutingSpace(chip)
+        z = 5
+        y = space.graph.tracks[z][2]
+        space.add_wire("f_net", "default", StickFigure(z, 1000, y, 2000, y))
+        space.add_wire("f_net", "default", StickFigure(z, 1000, y + 320, 2000, y + 320))
+        report = DrcChecker(space).run(spacing=False, opens=False)
+        assert not any(v.kind == "notch" for v in report.violations)
+
+
+class TestPrerouting:
+    def test_preroute_covers_local_nets(self):
+        chip = generate_chip(ChipSpec("pre1", rows=3, row_width_cells=6, net_count=10, seed=7))
+        flow = BonnRouteFlow(chip, gr_phases=8, seed=1, cleanup=False)
+        result = flow.run()
+        # Every net the global router classified local was routed.
+        assert result.global_result.local_nets <= result.detailed_result.routed
+
+    def test_preroute_reduces_capacity(self):
+        """Pre-routed wiring must lower the affected tiles' capacities."""
+        from repro.grid.tracks import build_track_plan
+        from repro.groute.capacity import estimate_capacities
+        from repro.groute.graph import GlobalRoutingGraph
+        from repro.geometry.rect import Rect
+
+        chip = generate_chip(ChipSpec("pre2", rows=3, row_width_cells=6, net_count=10, seed=7))
+        plan = build_track_plan(chip)
+        plain = GlobalRoutingGraph(chip)
+        estimate_capacities(plain, plan)
+        blocked = GlobalRoutingGraph(chip)
+        # A fat fake pre-route crossing the middle of the die on M3.
+        die = chip.die
+        mid_y = (die.y_lo + die.y_hi) // 2
+        estimate_capacities(
+            blocked, plan,
+            extra_obstacles=[(3, Rect(die.x_lo, mid_y - 200, die.x_hi, mid_y + 200))],
+        )
+        reduced = [
+            e for e in plain.capacities
+            if blocked.capacities[e] < plain.capacities[e] - 1e-9
+        ]
+        assert reduced, "extra obstacles must reduce some capacities"
+        assert all(
+            blocked.capacities[e] <= plain.capacities[e] + 1e-9
+            for e in plain.capacities
+        )

@@ -1,0 +1,143 @@
+"""Tests for the fast grid cache (Sec. 3.6)."""
+
+import pytest
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.space import RoutingSpace
+from repro.geometry.rect import Rect
+from repro.grid.shapegrid import RipupLevel
+from repro.tech.wiring import StickFigure
+
+
+@pytest.fixture(scope="module")
+def space():
+    spec = ChipSpec("fgtest", rows=2, row_width_cells=4, net_count=4, seed=3)
+    return RoutingSpace(generate_chip(spec))
+
+
+def _some_vertex(space, z=3):
+    graph = space.graph
+    t = len(graph.tracks[z]) // 2
+    c = len(graph.crosses[z]) // 2
+    return (z, t, c)
+
+
+class TestWords:
+    def test_word_has_four_entries(self, space):
+        word = space.fast_grid.word("default", _some_vertex(space))
+        assert len(word) == 4
+
+    def test_word_cached(self, space):
+        fast = space.fast_grid
+        vertex = _some_vertex(space)
+        fast.word("default", vertex)
+        misses = fast.misses
+        fast.word("default", vertex)
+        assert fast.misses == misses
+        assert fast.hits > 0
+
+    def test_free_space_usable(self, space):
+        vertex = _some_vertex(space, z=5)
+        assert space.fast_grid.vertex_usable("default", vertex, "wire")
+        assert space.fast_grid.vertex_usable("default", vertex, "jog")
+
+    def test_wide_type_layer_restriction(self, space):
+        vertex = _some_vertex(space, z=1)
+        # "wide" is not allowed on layer 1 at all.
+        assert not space.fast_grid.vertex_usable("wide", vertex, "wire")
+
+    def test_batch_matches_individual(self, space):
+        fast = space.fast_grid
+        z, t = 3, 1
+        fast.ensure_words("default", z, t, 0, 10)
+        for c in range(0, 11):
+            cached = fast._cache[("default", z, t)][c]
+            fresh = fast._compute_word(fast.wire_types["default"], (z, t, c))
+            assert cached == fresh, f"batched word differs at c={c}"
+
+
+class TestInvalidation:
+    def test_shape_add_invalidates(self):
+        spec = ChipSpec("fginv", rows=2, row_width_cells=4, net_count=4, seed=3)
+        space = RoutingSpace(generate_chip(spec))
+        graph = space.graph
+        z = 3
+        t = len(graph.tracks[z]) // 2
+        c = len(graph.crosses[z]) // 2
+        vertex = (z, t, c)
+        assert space.fast_grid.vertex_usable("default", vertex, "wire")
+        x, y, _ = graph.position(vertex)
+        # Drop a foreign wire exactly through the vertex.
+        space.add_wire("blockernet", "default", StickFigure(z, x - 200, y, x + 200, y))
+        assert not space.fast_grid.vertex_usable("default", vertex, "wire")
+        # Removal restores usability.
+        space.remove_wire("blockernet", StickFigure(z, x - 200, y, x + 200, y))
+        assert space.fast_grid.vertex_usable("default", vertex, "wire")
+
+    def test_ripup_levels_in_word(self):
+        spec = ChipSpec("fgrip", rows=2, row_width_cells=4, net_count=4, seed=3)
+        space = RoutingSpace(generate_chip(spec))
+        graph = space.graph
+        z = 3
+        vertex = (z, len(graph.tracks[z]) // 2, len(graph.crosses[z]) // 2)
+        x, y, _ = graph.position(vertex)
+        space.add_wire(
+            "softnet", "default", StickFigure(z, x - 200, y, x + 200, y),
+            ripup_level=int(RipupLevel.NORMAL),
+        )
+        fast = space.fast_grid
+        assert not fast.vertex_usable("default", vertex, "wire")
+        assert fast.vertex_usable(
+            "default", vertex, "wire", ripup_level=int(RipupLevel.NORMAL)
+        )
+        assert not fast.vertex_usable(
+            "default", vertex, "wire", ripup_level=int(RipupLevel.CRITICAL)
+        )
+
+    def test_dirty_bits_force_segment_check(self):
+        spec = ChipSpec("fgdirty", rows=2, row_width_cells=4, net_count=4, seed=3)
+        space = RoutingSpace(generate_chip(spec))
+        graph = space.graph
+        z = 3
+        t = len(graph.tracks[z]) // 2
+        c = len(graph.crosses[z]) // 2
+        v, w = (z, t, c), (z, t, c + 1)
+        assert space.fast_grid.edge_usable("default", v, w, "wire")
+        # An off-track blob strictly between the two vertices.
+        xv, yv, _ = graph.position(v)
+        xw, yw, _ = graph.position(w)
+        mid_x = (xv + xw) // 2
+        space.shape_grid.add_shape(
+            "wiring", z, Rect(mid_x - 10, yv - 10, mid_x + 10, yv + 10),
+            "offnet", "blob", __import__("repro.tech.wiring", fromlist=["ShapeKind"]).ShapeKind.WIRE,
+            3, 20,
+        )
+        space.fast_grid.invalidate_region(
+            z, Rect(mid_x - 10, yv - 10, mid_x + 10, yv + 10), off_track=True
+        )
+        assert not space.fast_grid.edge_usable("default", v, w, "wire")
+
+
+class TestStats:
+    def test_hit_rate_grows_with_reuse(self, space):
+        fast = space.fast_grid
+        for _ in range(3):
+            for c in range(0, 20):
+                fast.word("default", (3, 1, c))
+        assert fast.hit_rate > 0.5
+
+    def test_interval_count_positive_after_queries(self, space):
+        space.fast_grid.ensure_words("default", 3, 2, 0, 30)
+        assert space.fast_grid.interval_count() > 0
+        # Far fewer intervals than cached vertices (compression works).
+        cached = sum(len(tc) for tc in space.fast_grid._cache.values())
+        assert space.fast_grid.interval_count() < cached
+
+    def test_disabled_grid_always_misses(self):
+        spec = ChipSpec("fgoff", rows=2, row_width_cells=4, net_count=4, seed=3)
+        space = RoutingSpace(generate_chip(spec), fast_grid_enabled=False)
+        vertex = _some_vertex(space)
+        space.fast_grid.word("default", vertex)
+        space.fast_grid.word("default", vertex)
+        assert space.fast_grid.hits == 0
+        assert space.fast_grid.misses == 2

@@ -1,0 +1,219 @@
+"""Tests for the rectilinear geometry substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hanan import hanan_coordinates, refine_with_pitch
+from repro.geometry.interval import Interval, merge_intervals, total_covered_length
+from repro.geometry.l1 import (
+    l1_distance,
+    projection_overlap,
+    rect_l1_distance,
+    rect_l2_gap,
+    rect_linf_gap,
+    rect_width,
+    run_length,
+)
+from repro.geometry.polygon import (
+    boundary_edges,
+    merge_rects,
+    min_polygon_width,
+    polygon_width_at,
+    rectilinear_area,
+)
+from repro.geometry.rect import Rect, subtract_rect
+
+rect_strategy = st.builds(
+    Rect.from_points,
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+)
+
+
+class TestInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_contains_and_len(self):
+        iv = Interval(2, 5)
+        assert 2 in iv and 5 in iv and 6 not in iv
+        assert len(iv) == 4
+        assert iv.length == 3
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 2).intersection(Interval(3, 9)) is None
+
+    def test_subtract(self):
+        pieces = Interval(0, 10).subtract(Interval(3, 6))
+        assert pieces == [Interval(0, 2), Interval(7, 10)]
+        assert Interval(0, 10).subtract(Interval(-1, 11)) == []
+
+    def test_merge_intervals_coalesces_adjacent(self):
+        assert merge_intervals([(0, 2), (3, 5), (8, 9)]) == [(0, 5), (8, 9)]
+
+    def test_total_covered_length(self):
+        assert total_covered_length([(0, 10), (5, 20)]) == 20
+
+
+class TestRect:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 5)
+
+    def test_closed_intersection_on_border(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(10, 0, 20, 10)
+        assert a.intersects(b)
+        assert not a.intersects_open(b)
+
+    def test_intersection_rect(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 4, 4).expanded(2) == Rect(-2, -2, 6, 6)
+        assert Rect(0, 0, 4, 4).expanded(1, 3) == Rect(-1, -3, 5, 7)
+
+    def test_minkowski_sum(self):
+        stick = Rect(0, 0, 100, 0)
+        model = Rect(-20, -20, 20, 20)
+        assert stick.minkowski_sum(model) == Rect(-20, -20, 120, 20)
+
+    def test_bounding(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, -3, 6, 2)]
+        assert Rect.bounding(rects) == Rect(0, -3, 6, 2)
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_subtract_rect_full_cover(self):
+        assert subtract_rect(Rect(0, 0, 5, 5), Rect(-1, -1, 6, 6)) == []
+
+    def test_subtract_rect_no_overlap(self):
+        base = Rect(0, 0, 5, 5)
+        assert subtract_rect(base, Rect(10, 10, 20, 20)) == [base]
+
+    def test_subtract_rect_centre_hole(self):
+        pieces = subtract_rect(Rect(0, 0, 10, 10), Rect(3, 3, 7, 7))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == 100 - 16
+
+    @settings(max_examples=60, deadline=None)
+    @given(rect_strategy, rect_strategy)
+    def test_subtract_rect_area_invariant(self, base, hole):
+        pieces = subtract_rect(base, hole)
+        clip = base.intersection(hole)
+        overlap = clip.area if clip is not None and base.intersects_open(hole) else 0
+        assert sum(p.area for p in pieces) == base.area - overlap
+
+
+class TestDistances:
+    def test_l1_distance(self):
+        assert l1_distance((0, 0), (3, 4)) == 7
+
+    def test_rect_gaps(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(13, 14, 20, 20)
+        assert rect_l1_distance(a, b) == 3 + 4
+        assert rect_l2_gap(a, b) == 5.0
+        assert rect_linf_gap(a, b) == 4
+
+    def test_gap_zero_when_touching(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(10, 10, 20, 20)
+        assert rect_l2_gap(a, b) == 0.0
+
+    def test_run_length_parallel(self):
+        a = Rect(0, 0, 100, 10)
+        b = Rect(20, 30, 80, 40)
+        assert run_length(a, b) == 60
+        assert projection_overlap(a, b, "x") == 60
+        assert projection_overlap(a, b, "y") == 0
+
+    def test_run_length_diagonal_is_zero(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(20, 20, 30, 30)
+        assert run_length(a, b) == 0
+
+    def test_rect_width(self):
+        assert rect_width(Rect(0, 0, 100, 20)) == 20
+
+    @settings(max_examples=60, deadline=None)
+    @given(rect_strategy, rect_strategy)
+    def test_gap_symmetry(self, a, b):
+        assert rect_l2_gap(a, b) == rect_l2_gap(b, a)
+        assert run_length(a, b) == run_length(b, a)
+
+
+class TestPolygon:
+    def test_area_disjoint(self):
+        assert rectilinear_area([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)]) == 8
+
+    def test_area_overlap_counted_once(self):
+        assert rectilinear_area([Rect(0, 0, 4, 4), Rect(2, 0, 6, 4)]) == 24
+
+    def test_area_empty(self):
+        assert rectilinear_area([]) == 0
+        assert rectilinear_area([Rect(0, 0, 0, 5)]) == 0
+
+    def test_merge_rects_l_shape(self):
+        pieces = merge_rects([Rect(0, 0, 10, 2), Rect(0, 0, 2, 10)])
+        assert sum(p.area for p in pieces) == 20 + 20 - 4
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1:]:
+                assert not a.intersects_open(b)
+
+    def test_boundary_edges_square(self):
+        edges = boundary_edges([Rect(0, 0, 10, 10)])
+        assert len(edges) == 4
+        lengths = sorted(abs(x1 - x0) + abs(y1 - y0) for x0, y0, x1, y1 in edges)
+        assert lengths == [10, 10, 10, 10]
+
+    def test_boundary_edges_l_shape(self):
+        edges = boundary_edges([Rect(0, 0, 10, 4), Rect(0, 0, 4, 10)])
+        # An L has 6 boundary edges.
+        assert len(edges) == 6
+        perimeter = sum(abs(x1 - x0) + abs(y1 - y0) for x0, y0, x1, y1 in edges)
+        assert perimeter == 40
+
+    def test_polygon_width_at(self):
+        rects = [Rect(0, 0, 100, 20)]
+        assert polygon_width_at(rects, 50, 10) == 20
+        assert polygon_width_at(rects, 500, 10) == 0
+
+    def test_min_polygon_width(self):
+        assert min_polygon_width([Rect(0, 0, 100, 20), Rect(0, 0, 10, 100)]) == 10
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rect_strategy, max_size=5))
+    def test_merge_rects_preserves_area(self, rects):
+        assert sum(p.area for p in merge_rects(rects)) == rectilinear_area(rects)
+
+
+class TestHanan:
+    def test_coordinates_from_points_and_rects(self):
+        xs, ys = hanan_coordinates([(1, 2), (5, 9)], [Rect(3, 3, 4, 4)])
+        assert xs == [1, 3, 4, 5]
+        assert ys == [2, 3, 4, 9]
+
+    def test_refine_with_pitch_adds_tau_offsets(self):
+        coords = refine_with_pitch([0, 10], tau=4)
+        assert 0 in coords and 10 in coords
+        # Offsets at multiples of 4 around the close pair.
+        assert 4 in coords and 8 in coords
+        assert coords == sorted(set(coords))
+
+    def test_refine_far_apart_unchanged_between(self):
+        coords = refine_with_pitch([0, 1000], tau=4)
+        # The two coordinates are far apart: only local +-2*tau fill-in.
+        middle = [c for c in coords if 20 < c < 980]
+        assert middle == []
+
+    def test_refine_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            refine_with_pitch([0, 1], tau=0)

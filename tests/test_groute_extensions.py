@@ -1,0 +1,200 @@
+"""Tests for the global routing extensions: landmarks (Sec. 2.2),
+the lambda scaling framework (Sec. 2.3), per-net detour bounds (Sec. 2.1)
+and wire spreading (Sec. 4.2)."""
+
+import random
+
+import pytest
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.chip.net import Net
+from repro.droute.router import DetailedRouter
+from repro.droute.space import RoutingSpace
+from repro.droute.spreading import WireSpreading
+from repro.grid.tracks import build_track_plan
+from repro.groute.capacity import estimate_capacities
+from repro.groute.graph import GlobalRoutingGraph
+from repro.groute.landmarks import LandmarkOracle
+from repro.groute.resources import ResourceModel
+from repro.groute.router import GlobalRouter
+from repro.groute.sharing import ResourceSharingSolver, solve_with_scaling
+from repro.groute.steiner_oracle import path_composition_steiner_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    chip = generate_chip(
+        ChipSpec("ext", rows=3, row_width_cells=6, net_count=10, seed=7)
+    )
+    graph = GlobalRoutingGraph(chip)
+    estimate_capacities(graph, build_track_plan(chip))
+    return chip, graph
+
+
+class TestLandmarks:
+    def test_landmark_count(self, setup):
+        _chip, graph = setup
+        oracle = LandmarkOracle(graph, landmark_count=3)
+        assert len(oracle.landmarks) == 3
+
+    def test_potential_zero_at_targets(self, setup):
+        _chip, graph = setup
+        oracle = LandmarkOracle(graph, landmark_count=3)
+        targets = [(1, 1, 3), (2, 2, 4)]
+        pi = oracle.potential_to(targets)
+        for t in targets:
+            assert pi(t) <= 1e-9
+
+    def test_lower_bound_admissible(self, setup):
+        """pi(v) must never exceed the true lower-bound-metric distance."""
+        _chip, graph = setup
+        oracle = LandmarkOracle(graph, landmark_count=4)
+        rng = random.Random(9)
+
+        def true_distance(source, target):
+            # Dijkstra under the same lower-bound metric.
+            import heapq
+
+            dist = {source: 0.0}
+            heap = [(0.0, source)]
+            while heap:
+                d, node = heapq.heappop(heap)
+                if node == target:
+                    return d
+                if d > dist.get(node, float("inf")):
+                    continue
+                for neighbour, edge in graph.neighbors(node):
+                    if graph.capacity(edge) <= 0:
+                        continue
+                    nd = d + graph.edge_length(edge)
+                    if nd < dist.get(neighbour, float("inf")):
+                        dist[neighbour] = nd
+                        heapq.heappush(heap, (nd, neighbour))
+            return None
+
+        nodes = [
+            (rng.randrange(graph.nx), rng.randrange(graph.ny),
+             rng.choice(graph.chip.stack.indices))
+            for _ in range(6)
+        ]
+        for source in nodes[:3]:
+            for target in nodes[3:]:
+                true = true_distance(source, target)
+                if true is None:
+                    continue
+                assert oracle.lower_bound(source, target) <= true + 1e-6
+
+    def test_solver_with_landmarks_same_quality(self, setup):
+        chip, graph = setup
+        model = ResourceModel(graph, chip.nets)
+        routable = [n for n in chip.nets if not graph.is_local_net(n)]
+        plain = ResourceSharingSolver(graph, model, phases=8).solve(routable)
+        with_alt = ResourceSharingSolver(
+            graph, model, phases=8, use_landmarks=True, landmark_count=3
+        ).solve(routable)
+        assert with_alt.max_congestion <= plain.max_congestion * 1.1
+
+
+class TestScalingFramework:
+    def test_tight_bounds_get_scaled(self, setup):
+        chip, graph = setup
+        routable = [n for n in chip.nets if not graph.is_local_net(n)]
+        model = ResourceModel(graph, chip.nets)
+        # Sabotage the objective guess: 10x too tight.
+        model.bounds["wirelength"] /= 10.0
+        solution, history = solve_with_scaling(
+            graph, model, routable, phases=8, probe_phases=4
+        )
+        assert history[0] > 1.05, "the probe must see the bad guess"
+        assert solution.max_congestion <= 1.3, (
+            f"scaling should normalize lambda, got {solution.max_congestion}"
+        )
+
+    def test_good_bounds_skip_scaling(self, setup):
+        chip, graph = setup
+        routable = [n for n in chip.nets if not graph.is_local_net(n)]
+        model = ResourceModel(graph, chip.nets)
+        _solution, history = solve_with_scaling(
+            graph, model, routable, phases=8, probe_phases=4
+        )
+        assert len(history) == 1
+
+
+class TestDetourBounds:
+    def test_detour_resource_created(self, setup):
+        chip, graph = setup
+        net = chip.nets[0]
+        net.detour_bound = 2 * net.half_perimeter()
+        try:
+            model = ResourceModel(graph, chip.nets)
+            assert f"detour:{net.name}" in model.bounds
+            edge = next(
+                e for e in graph.edges() if not graph.is_via_edge(e)
+            )
+            usage = model.edge_usage(net.name, edge, 0.0)
+            assert f"detour:{net.name}" in usage
+            other = chip.nets[1]
+            usage_other = model.edge_usage(other.name, edge, 0.0)
+            assert f"detour:{net.name}" not in usage_other
+        finally:
+            net.detour_bound = None
+
+    def test_bounded_net_stays_within_bound(self, setup):
+        chip, graph = setup
+        routable = [n for n in chip.nets if not graph.is_local_net(n)]
+        victim = max(routable, key=lambda n: n.half_perimeter())
+        victim.detour_bound = int(1.5 * victim.half_perimeter())
+        try:
+            model = ResourceModel(graph, chip.nets)
+            solver = ResourceSharingSolver(graph, model, phases=10)
+            fractional = solver.solve(routable)
+            # Fractional usage of the detour resource must be near/below 1.
+            detour_usage = 0.0
+            for key, weight in fractional.weights[victim.name].items():
+                _eu, gu = solver._usages(victim.name, key)
+                detour_usage += weight * gu.get(f"detour:{victim.name}", 0.0)
+            assert detour_usage <= 1.2
+        finally:
+            victim.detour_bound = None
+
+
+class TestWireSpreading:
+    def test_low_utilization_tiles_found(self):
+        chip = generate_chip(
+            ChipSpec("spread", rows=2, row_width_cells=5, net_count=5, seed=5)
+        )
+        router = GlobalRouter(chip, phases=8, seed=1)
+        result = router.run()
+        space = RoutingSpace(chip)
+        spreading = WireSpreading.from_global_result(space.graph, result)
+        assert spreading.low_utilization_tiles, "sparse chip must have spare tiles"
+
+    def test_penalty_only_on_odd_tracks_in_spare_tiles(self):
+        chip = generate_chip(
+            ChipSpec("spread2", rows=2, row_width_cells=5, net_count=5, seed=5)
+        )
+        router = GlobalRouter(chip, phases=8, seed=1)
+        result = router.run()
+        space = RoutingSpace(chip)
+        spreading = WireSpreading.from_global_result(space.graph, result)
+
+        class FakeInterval:
+            def __init__(self, z, t, c_lo, c_hi):
+                self.z, self.t, self.c_lo, self.c_hi = z, t, c_lo, c_hi
+
+        even = FakeInterval(5, 2, 0, 4)
+        odd = FakeInterval(5, 3, 0, 4)
+        assert spreading.interval_penalty(even) == 0
+        assert spreading.interval_penalty(odd) in (0, spreading.penalty)
+
+    def test_routing_with_spreading_still_succeeds(self):
+        chip = generate_chip(
+            ChipSpec("spread3", rows=2, row_width_cells=5, net_count=5, seed=5)
+        )
+        gr = GlobalRouter(chip, phases=8, seed=1)
+        gr_result = gr.run()
+        space = RoutingSpace(chip)
+        spreading = WireSpreading.from_global_result(space.graph, gr_result)
+        router = DetailedRouter(space, spreading=spreading)
+        result = router.run()
+        assert len(result.failed) == 0

@@ -1,0 +1,151 @@
+"""Tests for the text interchange format and the ASCII visualization."""
+
+import pytest
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.route import NetRoute, ViaInstance
+from repro.droute.router import DetailedRouter
+from repro.droute.space import RoutingSpace
+from repro.io.textformat import (
+    FormatError,
+    dump_chip,
+    dump_routes,
+    load_chip,
+    load_routes,
+    read_chip_file,
+    read_routes_file,
+    write_chip_file,
+    write_routes_file,
+)
+from repro.tech.wiring import StickFigure
+from repro.viz import render_layer, render_summary
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return generate_chip(ChipSpec("iotest", rows=2, row_width_cells=4, net_count=4, seed=2))
+
+
+@pytest.fixture(scope="module")
+def routed_space(chip):
+    space = RoutingSpace(chip)
+    DetailedRouter(space).run()
+    return space
+
+
+class TestChipFormat:
+    def test_roundtrip_structure(self, chip):
+        text = dump_chip(chip)
+        loaded = load_chip(text)
+        assert loaded.name == chip.name
+        assert loaded.die == chip.die
+        assert len(loaded.stack) == len(chip.stack)
+        assert [n.name for n in loaded.nets] == [n.name for n in chip.nets]
+        for old, new in zip(chip.nets, loaded.nets):
+            assert old.wire_type == new.wire_type
+            assert [p.name for p in old.pins] == [p.name for p in new.pins]
+            for op, np_ in zip(old.pins, new.pins):
+                assert op.shapes == np_.shapes
+
+    def test_roundtrip_obstructions(self, chip):
+        loaded = load_chip(dump_chip(chip))
+        # Circuit obstructions become flat blockages: total fixed metal
+        # per layer must match.
+        def per_layer(c):
+            totals = {}
+            for layer, rect, _owner in c.obstruction_shapes():
+                totals[layer] = totals.get(layer, 0) + rect.area
+            return totals
+
+        assert per_layer(loaded) == per_layer(chip)
+
+    def test_loaded_chip_is_routable(self, chip):
+        loaded = load_chip(dump_chip(chip))
+        space = RoutingSpace(loaded)
+        result = DetailedRouter(space).run()
+        assert len(result.failed) == 0
+
+    def test_file_helpers(self, chip, tmp_path):
+        path = tmp_path / "chip.txt"
+        write_chip_file(chip, str(path))
+        loaded = read_chip_file(str(path))
+        assert loaded.die == chip.die
+
+    def test_malformed_rejected(self):
+        with pytest.raises(FormatError):
+            load_chip("CHIP broken DIE 0 0\n")
+        with pytest.raises(FormatError):
+            load_chip("FROBNICATE 1 2 3\nEND\n")
+        with pytest.raises(FormatError):
+            load_chip("END\n")  # no CHIP/LAYER lines
+
+    def test_comments_and_blank_lines_ignored(self, chip):
+        text = dump_chip(chip)
+        noisy = "# header comment\n\n" + text.replace("\nNET", "\n# nets\nNET", 1)
+        assert load_chip(noisy).name == chip.name
+
+
+class TestRoutesFormat:
+    def test_roundtrip(self, routed_space, chip):
+        text = dump_routes(routed_space.routes, chip.name)
+        loaded = load_routes(text)
+        assert sorted(loaded) == sorted(routed_space.routes)
+        for name, route in loaded.items():
+            original = routed_space.routes[name]
+            assert route.wires == original.wires
+            assert route.vias == original.vias
+            assert route.wire_levels == original.wire_levels
+            assert route.wire_types == original.wire_types
+
+    def test_mixed_wire_types_preserved(self):
+        route = NetRoute("mixed", "wide")
+        route.add_wire(StickFigure(1, 0, 0, 400, 0), 3, "default")
+        route.add_wire(StickFigure(3, 0, 0, 400, 0), 3, "wide")
+        route.add_via(ViaInstance(3, 200, 0), 3, "wide")
+        loaded = load_routes(dump_routes({"mixed": route}))
+        assert loaded["mixed"].wire_types == ["default", "wide"]
+        assert loaded["mixed"].via_types == ["wide"]
+
+    def test_file_helpers(self, routed_space, chip, tmp_path):
+        path = tmp_path / "routes.txt"
+        write_routes_file(routed_space.routes, str(path), chip.name)
+        loaded = read_routes_file(str(path))
+        assert sorted(loaded) == sorted(routed_space.routes)
+
+    def test_wire_without_route_rejected(self):
+        with pytest.raises(FormatError):
+            load_routes("WIRE ghost 1 0 0 10 0 3 default\n")
+
+
+class TestViz:
+    def test_render_contains_blockages_and_pins(self, chip):
+        # Pins are visible on an unrouted space (wiring paints over them).
+        space = RoutingSpace(chip)
+        art = render_layer(space, 1, width=80)
+        assert "#" in art  # power rails / obstructions
+        assert "P" in art  # pins
+
+    def test_render_contains_wires(self, routed_space):
+        arts = [render_layer(routed_space, z, width=80) for z in (2, 3, 4)]
+        assert any(
+            any(g in art for g in "abcdefghij") for art in arts
+        ), "routed wires should appear on some layer"
+
+    def test_render_no_shorts(self, routed_space):
+        # '*' marks overlapping wires of different nets.
+        for z in routed_space.chip.stack.indices:
+            art = render_layer(routed_space, z, width=120)
+            assert "*" not in art, f"diff-net overlap rendered on M{z}"
+
+    def test_summary_covers_all_layers(self, routed_space):
+        summary = render_summary(routed_space, width=40)
+        for z in routed_space.chip.stack.indices:
+            assert f"layer M{z}" in summary
+
+    def test_window_restriction(self, routed_space):
+        from repro.geometry.rect import Rect
+
+        art = render_layer(
+            routed_space, 1, width=40, window=Rect(0, 0, 800, 800)
+        )
+        assert "window=(0, 0, 800, 800)" in art

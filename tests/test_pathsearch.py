@@ -1,0 +1,280 @@
+"""Tests for the on-track path search (Sec. 4.1, Algorithm 4).
+
+The central invariant: the interval-based search returns exactly the
+node-based Dijkstra's optimal costs, with far fewer heap pops.
+"""
+
+import random
+
+import pytest
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.area import RoutingArea
+from repro.droute.future_cost import FutureCostH, FutureCostP, SearchCosts
+from repro.droute.intervals import GraphView
+from repro.droute.pathsearch import (
+    interval_path_search,
+    node_path_search,
+    path_to_moves,
+)
+from repro.droute.space import RoutingSpace
+from repro.geometry.rect import Rect
+from repro.tech.wiring import StickFigure
+
+
+@pytest.fixture(scope="module")
+def space():
+    spec = ChipSpec("pstest", rows=2, row_width_cells=5, net_count=5, seed=5)
+    return RoutingSpace(generate_chip(spec))
+
+
+def _run_both(space, s, t, ripup=-2):
+    costs = SearchCosts()
+    area = RoutingArea.everywhere()
+    pi = FutureCostH(space.graph, [t], costs)
+    results = []
+    for search in (interval_path_search, node_path_search):
+        view = GraphView(space, "default", area, ripup_level=ripup,
+                         forced_vertices={s, t})
+        results.append(search(view, {s: 0}, {t}, costs, pi))
+    return results
+
+
+class TestCorrectness:
+    def test_same_layer_straight(self, space):
+        z = 5
+        s = (z, 1, 1)
+        t = (z, 1, len(space.graph.crosses[z]) - 2)
+        interval, node = _run_both(space, s, t)
+        assert interval is not None and node is not None
+        assert interval.cost == node.cost
+
+    def test_cross_layer(self, space):
+        s = (2, 2, 2)
+        t = (5, 3, 3)
+        interval, node = _run_both(space, s, t)
+        assert interval is not None and node is not None
+        assert interval.cost == node.cost
+
+    def test_random_pairs_match(self, space):
+        rng = random.Random(17)
+        graph = space.graph
+        for _ in range(15):
+            z1 = rng.choice(graph.stack.indices)
+            z2 = rng.choice(graph.stack.indices)
+            s = (z1, rng.randrange(len(graph.tracks[z1])),
+                 rng.randrange(len(graph.crosses[z1])))
+            t = (z2, rng.randrange(len(graph.tracks[z2])),
+                 rng.randrange(len(graph.crosses[z2])))
+            if s == t:
+                continue
+            interval, node = _run_both(space, s, t)
+            cost_i = interval.cost if interval else None
+            cost_n = node.cost if node else None
+            assert cost_i == cost_n, f"{s} -> {t}: {cost_i} != {cost_n}"
+
+    def test_path_endpoints(self, space):
+        s = (3, 1, 1)
+        t = (3, 4, 8)
+        interval, _node = _run_both(space, s, t)
+        assert interval.vertices[0] == s
+        assert interval.vertices[-1] == t
+
+    def test_path_is_connected_moves(self, space):
+        s = (2, 1, 1)
+        t = (4, 3, 6)
+        interval, _ = _run_both(space, s, t)
+        moves = path_to_moves(space.graph, interval.vertices)
+        assert len(moves) == len(interval.vertices) - 1
+        for kind, v, w in moves:
+            if kind == "via":
+                assert abs(v[0] - w[0]) == 1 and v[1:] != None
+            elif kind == "jog":
+                assert v[0] == w[0] and abs(v[1] - w[1]) == 1 and v[2] == w[2]
+            else:
+                assert v[0] == w[0] and v[1] == w[1] and abs(v[2] - w[2]) == 1
+
+    def test_unreachable_returns_none(self, space):
+        # Restrict the area to two disjoint windows on one layer: no path.
+        graph = space.graph
+        z = 5
+        x0, y0, _ = graph.position((z, 0, 0))
+        area = RoutingArea.from_boxes([
+            (z, Rect(x0, y0, x0 + 100, y0 + 100)),
+        ])
+        costs = SearchCosts()
+        s = (z, 0, 0)
+        t = (z, len(graph.tracks[z]) - 1, len(graph.crosses[z]) - 1)
+        pi = FutureCostH(graph, [t], costs)
+        view = GraphView(space, "default", area, forced_vertices={s})
+        assert interval_path_search(view, {s: 0}, {t}, costs, pi) is None
+
+    def test_source_offset_respected(self, space):
+        z = 5
+        s1 = (z, 1, 1)
+        s2 = (z, 1, 3)
+        t = (z, 1, 10)
+        costs = SearchCosts()
+        pi = FutureCostH(space.graph, [t], costs)
+        view = GraphView(space, "default", RoutingArea.everywhere(),
+                         forced_vertices={s1, s2, t})
+        # Huge offset on the nearer source: the farther one wins.
+        result = interval_path_search(
+            view, {s1: 10 ** 9, s2: 0}, {t}, costs, pi
+        )
+        assert result.vertices[0] == s2
+
+
+class TestEfficiency:
+    def test_interval_pops_fewer(self, space):
+        z = 5
+        s = (z, 0, 0)
+        t = (z, len(space.graph.tracks[z]) - 1, len(space.graph.crosses[z]) - 1)
+        interval, node = _run_both(space, s, t)
+        assert interval.stats.pops < node.stats.pops
+
+    def test_long_straight_run_few_pops(self, space):
+        """Goal-oriented straight-line search: O(1) pops, not O(distance)."""
+        z = 5
+        s = (z, 2, 0)
+        t = (z, 2, len(space.graph.crosses[z]) - 1)
+        interval, node = _run_both(space, s, t)
+        assert interval.stats.pops <= 5
+        assert node.stats.pops >= len(space.graph.crosses[z]) - 2
+
+
+class TestBlockagesAndRipup:
+    @pytest.fixture()
+    def blocked_space(self):
+        spec = ChipSpec("psblock", rows=2, row_width_cells=5, net_count=5, seed=5)
+        space = RoutingSpace(generate_chip(spec))
+        graph = space.graph
+        z = 5
+        t_index = 2
+        y = graph.tracks[z][t_index]
+        x_lo, _, _ = graph.position((z, t_index, 3))
+        x_hi, _, _ = graph.position((z, t_index, 5))
+        space.add_wire("blocker", "default", StickFigure(z, x_lo, y, x_hi, y))
+        return space, z, t_index
+
+    def test_search_detours_around_foreign_wire(self, blocked_space):
+        space, z, t_index = blocked_space
+        graph = space.graph
+        s = (z, t_index, 0)
+        t = (z, t_index, len(graph.crosses[z]) - 1)
+        costs = SearchCosts()
+        pi = FutureCostH(graph, [t], costs)
+        view = GraphView(space, "default", RoutingArea.everywhere(),
+                         forced_vertices={s, t})
+        result = interval_path_search(view, {s: 0}, {t}, costs, pi)
+        assert result is not None
+        blocked = {(z, t_index, c) for c in range(3, 6)}
+        assert not (set(result.vertices) & blocked)
+        # Detour costs more than the straight line.
+        straight = graph.crosses[z][-1] - graph.crosses[z][0]
+        assert result.cost > straight
+
+    def test_ripup_mode_crosses_at_penalty(self, blocked_space):
+        space, z, t_index = blocked_space
+        graph = space.graph
+        s = (z, t_index, 0)
+        t = (z, t_index, len(graph.crosses[z]) - 1)
+        costs = SearchCosts()
+        pi = FutureCostH(graph, [t], costs)
+        view = GraphView(
+            space, "default", RoutingArea.everywhere(),
+            ripup_level=3, forced_vertices={s, t},
+            ripup_base_penalty=10,
+        )
+        result = interval_path_search(view, {s: 0}, {t}, costs, pi)
+        assert result is not None
+        assert result.ripup_vertices, "expected the path to cross the blocker"
+
+    def test_ripup_history_raises_penalty(self, blocked_space):
+        space, z, t_index = blocked_space
+        graph = space.graph
+        s = (z, t_index, 0)
+        t = (z, t_index, len(graph.crosses[z]) - 1)
+        costs = SearchCosts()
+        pi = FutureCostH(graph, [t], costs)
+
+        def run(history):
+            view = GraphView(
+                space, "default", RoutingArea.everywhere(),
+                ripup_level=3, forced_vertices={s, t},
+                ripup_base_penalty=10, ripup_history=history,
+            )
+            return interval_path_search(view, {s: 0}, {t}, costs, pi)
+
+        fresh = run({})
+        loaded = run({v: 50 for v in fresh.ripup_vertices})
+        # With heavy history the detour becomes cheaper than ripping.
+        assert loaded.cost >= fresh.cost
+
+
+class TestFutureCosts:
+    def test_pi_h_zero_at_target(self, space):
+        t = (3, 2, 4)
+        pi = FutureCostH(space.graph, [t], SearchCosts())
+        assert pi(t) == 0
+
+    def test_pi_h_admissible(self, space):
+        rng = random.Random(3)
+        graph = space.graph
+        costs = SearchCosts()
+        t = (3, 2, 4)
+        pi = FutureCostH(graph, [t], costs)
+        for _ in range(8):
+            z = rng.choice(graph.stack.indices)
+            s = (z, rng.randrange(len(graph.tracks[z])),
+                 rng.randrange(len(graph.crosses[z])))
+            if s == t:
+                continue
+            view = GraphView(space, "default", RoutingArea.everywhere(),
+                             forced_vertices={s, t})
+            result = node_path_search(view, {s: 0}, {t}, costs, pi)
+            if result is not None:
+                assert pi(s) <= result.cost
+
+    def test_pi_p_at_least_pi_h_and_admissible(self, space):
+        graph = space.graph
+        costs = SearchCosts()
+        t = (3, 2, 4)
+        area = RoutingArea.everywhere()
+        large = [
+            (layer, rect)
+            for layer, rect, _own in space.chip.obstruction_shapes()
+        ]
+        pi_p = FutureCostP(graph, [t], costs, area, large)
+        pi_h = FutureCostH(graph, [t], costs)
+        rng = random.Random(4)
+        for _ in range(8):
+            z = rng.choice(graph.stack.indices)
+            s = (z, rng.randrange(len(graph.tracks[z])),
+                 rng.randrange(len(graph.crosses[z])))
+            if s == t:
+                continue
+            assert pi_p(s) >= pi_h(s)
+            view = GraphView(space, "default", area, forced_vertices={s, t})
+            result = node_path_search(view, {s: 0}, {t}, costs, pi_h)
+            if result is not None:
+                assert pi_p(s) <= result.cost, "pi_P must stay admissible"
+
+    def test_search_with_pi_p_same_cost(self, space):
+        graph = space.graph
+        costs = SearchCosts()
+        s, t = (1, 2, 5), (4, 3, 10)
+        area = RoutingArea.everywhere()
+        large = [
+            (layer, rect)
+            for layer, rect, _own in space.chip.obstruction_shapes()
+        ]
+        pi_p = FutureCostP(graph, [t], costs, area, large)
+        pi_h = FutureCostH(graph, [t], costs)
+        view1 = GraphView(space, "default", area, forced_vertices={s, t})
+        view2 = GraphView(space, "default", area, forced_vertices={s, t})
+        r_h = interval_path_search(view1, {s: 0}, {t}, costs, pi_h)
+        r_p = interval_path_search(view2, {s: 0}, {t}, costs, pi_p)
+        assert (r_h is None) == (r_p is None)
+        if r_h is not None:
+            assert r_h.cost == r_p.cost

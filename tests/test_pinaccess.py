@@ -1,0 +1,171 @@
+"""Tests for off-track pin access (Sec. 4.3, Fig. 7)."""
+
+import pytest
+
+from repro.chip.cells import CellTemplate, CircuitInstance
+from repro.chip.design import Chip
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.chip.net import Net, Pin
+from repro.droute.pinaccess import AccessPath, PinAccessPlanner
+from repro.droute.space import RoutingSpace
+from repro.geometry.rect import Rect
+from repro.grid.blockgrid import min_segment_length
+from repro.tech.stacks import example_rules, example_stack, example_wiretypes
+
+
+@pytest.fixture(scope="module")
+def space():
+    spec = ChipSpec("patest", rows=2, row_width_cells=5, net_count=6, seed=11)
+    return RoutingSpace(generate_chip(spec))
+
+
+class TestCatalogue:
+    def test_catalogue_nonempty_for_typical_pin(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[0].pins[0]
+        paths = planner.build_catalogue(pin)
+        assert paths, "typical pin should have access paths"
+
+    def test_paths_start_at_pin_and_end_on_track(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[0].pins[0]
+        for path in planner.build_catalogue(pin):
+            assert path.points[0] == pin.reference_point()
+            ex, ey, ez = space.graph.position(path.endpoint)
+            assert path.points[-1] == (ex, ey)
+            if path.via is not None:
+                assert (path.via.x, path.via.y) == (ex, ey)
+                assert ez == path.layer + 1
+
+    def test_paths_respect_tau(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[0].pins[0]
+        tau = space.chip.rules.same_net_rules(1).min_segment_length
+        for path in planner.build_catalogue(pin):
+            if len(path.points) > 1:
+                assert min_segment_length(path.points) >= tau
+
+    def test_paths_sorted_by_length(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[0].pins[1]
+        paths = planner.build_catalogue(pin)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_sticks_cover_polyline(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[0].pins[0]
+        for path in planner.build_catalogue(pin):
+            sticks = path.sticks()
+            total = sum(s.length for s in sticks)
+            assert total == sum(
+                abs(a[0] - b[0]) + abs(a[1] - b[1])
+                for a, b in zip(path.points, path.points[1:])
+            )
+
+
+class TestConflictFreeSolution:
+    def _planner_and_catalogues(self, space):
+        planner = PinAccessPlanner(space)
+        by_circuit = {}
+        for net in space.chip.nets:
+            for pin in net.pins:
+                by_circuit.setdefault(pin.circuit_id, []).append(pin)
+        circuits = {c.instance_id: c for c in space.chip.circuits}
+        cid, pins = next(
+            (cid, pins) for cid, pins in sorted(by_circuit.items())
+            if len(pins) >= 2
+        )
+        return planner, planner.circuit_catalogues(circuits[cid], pins)
+
+    def test_solution_is_conflict_free(self, space):
+        planner, catalogues = self._planner_and_catalogues(space)
+        solution = planner.conflict_free_solution(catalogues)
+        assert solution is not None
+        chosen = list(solution.values())
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1:]:
+                assert not planner.paths_conflict(a, b)
+
+    def test_coverage_first(self, space):
+        """The B&B prefers assigning more pins over shorter paths."""
+        planner, catalogues = self._planner_and_catalogues(space)
+        solution = planner.conflict_free_solution(catalogues)
+        covered = len(solution)
+        nonempty = sum(1 for paths in catalogues.values() if paths)
+        # Every pin with a catalogue should be covered here (fresh space).
+        assert covered == nonempty
+
+    def test_empty_catalogues_give_none(self, space):
+        planner = PinAccessPlanner(space)
+        assert planner.conflict_free_solution({}) is None
+        assert planner.conflict_free_solution({"p": []}) is None
+
+    def test_figure7_greedy_failure_avoided(self):
+        """Fig. 7: three pins behind a blockage bar; a greedy first-fit
+        choice can block the third pin, the B&B must not."""
+        stack = example_stack(4)
+        pitch = 80
+        template = CellTemplate(
+            "FIG7",
+            width=10 * pitch,
+            height=960,
+            pins={
+                "P1": [(1, Rect(150, 430, 190, 470))],
+                "P2": [(1, Rect(390, 430, 430, 470))],
+                "P3": [(1, Rect(630, 430, 670, 470))],
+            },
+            obstructions=[(1, Rect(60, 530, 740, 570))],
+        )
+        inst = CircuitInstance(0, template, 1000, 1000)
+        pins = {
+            name: Pin(f"0/{name}", inst.pin_shapes(name), circuit_id=0)
+            for name in ("P1", "P2", "P3")
+        }
+        nets = [
+            Net("a", [pins["P1"], Pin("x", [(1, Rect(4000, 1000, 4040, 1040))])]),
+            Net("b", [pins["P2"], Pin("y", [(1, Rect(4000, 2000, 4040, 2040))])]),
+            Net("c", [pins["P3"], Pin("z", [(1, Rect(4000, 3000, 4040, 3040))])]),
+        ]
+        chip = Chip(
+            "fig7", Rect(0, 0, 6000, 6000), stack, example_rules(4),
+            example_wiretypes(stack), circuits=[inst], nets=nets,
+        )
+        space = RoutingSpace(chip)
+        planner = PinAccessPlanner(space)
+        catalogues = planner.circuit_catalogues(inst, list(pins.values()))
+        assert all(catalogues[f"0/{n}"] for n in ("P1", "P2", "P3"))
+        solution = planner.conflict_free_solution(catalogues)
+        assert solution is not None
+        assert len(solution) == 3, "all three pins must get access paths"
+
+
+class TestClassCache:
+    def test_identical_instances_hit_cache(self):
+        spec = ChipSpec("pacache", rows=2, row_width_cells=6, net_count=8, seed=21)
+        space = RoutingSpace(generate_chip(spec))
+        planner = PinAccessPlanner(space)
+        by_circuit = {}
+        for net in space.chip.nets:
+            for pin in net.pins:
+                by_circuit.setdefault(pin.circuit_id, []).append(pin)
+        circuits = {c.instance_id: c for c in space.chip.circuits}
+        for cid, pins in sorted(by_circuit.items()):
+            planner.circuit_catalogues(circuits[cid], pins)
+        assert planner.cache_misses > 0
+        # With few templates and repeated geometry, some hits must occur.
+        total = planner.cache_hits + planner.cache_misses
+        assert total == len(by_circuit)
+
+
+class TestReservation:
+    def test_reserve_adds_shapes(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[1].pins[0]
+        paths = planner.build_catalogue(pin)
+        assert paths
+        before = space.shape_grid.total_interval_count()
+        planner.reserve(paths[0])
+        assert space.shape_grid.total_interval_count() >= before
+        route = space.routes[paths[0].net_name]
+        assert route.wires or route.vias

@@ -1,0 +1,132 @@
+"""Tests for same-net rule postprocessing (Sec. 3.7 / 4.4)."""
+
+import pytest
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.route import NetRoute, ViaInstance
+from repro.droute.samenet import (
+    fix_min_segment_lengths,
+    merge_collinear,
+    min_area_deficits,
+    min_segment_violations,
+    postprocess_path,
+)
+from repro.droute.space import RoutingSpace
+from repro.tech.wiring import StickFigure
+
+
+@pytest.fixture(scope="module")
+def space():
+    spec = ChipSpec("sntest", rows=2, row_width_cells=4, net_count=4, seed=9)
+    return RoutingSpace(generate_chip(spec))
+
+
+class TestMergeCollinear:
+    def test_merges_abutting(self):
+        sticks = [
+            StickFigure(3, 0, 100, 50, 100),
+            StickFigure(3, 50, 100, 120, 100),
+        ]
+        merged = merge_collinear(sticks)
+        assert merged == [StickFigure(3, 0, 100, 120, 100)]
+
+    def test_merges_overlapping(self):
+        sticks = [
+            StickFigure(3, 0, 100, 80, 100),
+            StickFigure(3, 40, 100, 120, 100),
+        ]
+        assert merge_collinear(sticks) == [StickFigure(3, 0, 100, 120, 100)]
+
+    def test_keeps_disjoint(self):
+        sticks = [
+            StickFigure(3, 0, 100, 50, 100),
+            StickFigure(3, 200, 100, 260, 100),
+        ]
+        assert len(merge_collinear(sticks)) == 2
+
+    def test_keeps_different_layers(self):
+        sticks = [
+            StickFigure(3, 0, 100, 50, 100),
+            StickFigure(5, 0, 100, 50, 100),
+        ]
+        assert len(merge_collinear(sticks)) == 2
+
+    def test_point_absorbed_by_segment(self):
+        sticks = [
+            StickFigure(3, 0, 100, 50, 100),
+            StickFigure(3, 25, 100, 25, 100),
+        ]
+        assert merge_collinear(sticks) == [StickFigure(3, 0, 100, 50, 100)]
+
+    def test_lonely_point_survives(self):
+        sticks = [StickFigure(3, 25, 100, 25, 100)]
+        assert merge_collinear(sticks) == sticks
+
+    def test_vertical_merge(self):
+        sticks = [
+            StickFigure(2, 100, 0, 100, 50),
+            StickFigure(2, 100, 50, 100, 90),
+        ]
+        assert merge_collinear(sticks) == [StickFigure(2, 100, 0, 100, 90)]
+
+
+class TestMinSegment:
+    def test_violations_detected(self, space):
+        tau = space.chip.rules.same_net_rules(3).min_segment_length
+        short = StickFigure(3, 0, 120, tau - 10, 120)
+        long = StickFigure(3, 0, 240, 2 * tau, 240)
+        violations = min_segment_violations(space, [short, long])
+        assert violations == [short]
+
+    def test_points_exempt(self, space):
+        point = StickFigure(3, 100, 100, 100, 100)
+        assert min_segment_violations(space, [point]) == []
+
+    def test_fix_extends_in_free_space(self, space):
+        graph = space.graph
+        z = 5
+        y = graph.tracks[z][len(graph.tracks[z]) // 2]
+        tau = space.chip.rules.same_net_rules(z).min_segment_length
+        short = StickFigure(z, 2000, y, 2000 + tau - 20, y)
+        fixed = fix_min_segment_lengths(space, "testnet", "default", [short])
+        assert all(
+            s.length >= tau or s.is_point for s in fixed
+        ), f"still short: {fixed}"
+
+    def test_postprocess_combines_merge_and_fix(self, space):
+        graph = space.graph
+        z = 5
+        y = graph.tracks[z][1]
+        pieces = [
+            StickFigure(z, 2000, y, 2050, y),
+            StickFigure(z, 2050, y, 2400, y),
+        ]
+        out = postprocess_path(space, "testnet", "default", pieces)
+        assert len(out) == 1
+        assert out[0].length == 400
+
+
+class TestMinArea:
+    def test_deficit_reported_for_tiny_route(self, space):
+        route = NetRoute("tiny", "default")
+        # A stub far shorter than min area requires: metal area
+        # (20 + 2*20 line-end) x 40 = 4000 < 4800 required.
+        route.add_wire(StickFigure(3, 2000, 2000, 2020, 2000))
+        deficits = min_area_deficits(space, route)
+        assert any(layer == 3 and missing > 0 for layer, missing in deficits)
+
+    def test_no_deficit_for_long_route(self, space):
+        route = NetRoute("long", "default")
+        route.add_wire(StickFigure(3, 0, 2000, 4000, 2000))
+        assert min_area_deficits(space, route) == []
+
+    def test_via_pads_count_towards_area(self, space):
+        route = NetRoute("viaonly", "default")
+        route.add_via(ViaInstance(3, 2000, 2000))
+        deficits = dict(min_area_deficits(space, route))
+        # Pads alone are usually below minimum area: layers 3 and 4 are
+        # reported, with the pad area already subtracted.
+        for layer in (3, 4):
+            if layer in deficits:
+                required = space.chip.rules.same_net_rules(layer).min_area
+                assert deficits[layer] < required

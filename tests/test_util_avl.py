@@ -1,0 +1,161 @@
+"""Tests for the AVL tree underlying the shape grid's interval rows."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.avl import AVLTree
+
+
+def test_insert_and_lookup():
+    tree = AVLTree()
+    tree.insert(5, "a")
+    tree.insert(3, "b")
+    tree.insert(8, "c")
+    assert tree[5] == "a"
+    assert tree[3] == "b"
+    assert tree[8] == "c"
+    assert len(tree) == 3
+
+
+def test_insert_replaces_value():
+    tree = AVLTree()
+    tree.insert(1, "old")
+    tree.insert(1, "new")
+    assert tree[1] == "new"
+    assert len(tree) == 1
+
+
+def test_missing_key_raises():
+    tree = AVLTree()
+    with pytest.raises(KeyError):
+        tree[42]
+
+
+def test_get_default():
+    tree = AVLTree()
+    assert tree.get(7, "fallback") == "fallback"
+
+
+def test_delete():
+    tree = AVLTree()
+    for key in [5, 3, 8, 1, 4, 7, 9]:
+        tree.insert(key, key * 10)
+    tree.delete(5)
+    assert 5 not in tree
+    assert len(tree) == 6
+    tree.check_invariants()
+
+
+def test_delete_missing_raises():
+    tree = AVLTree()
+    tree.insert(1, None)
+    with pytest.raises(KeyError):
+        tree.delete(2)
+
+
+def test_pop():
+    tree = AVLTree()
+    tree.insert(1, "x")
+    assert tree.pop(1) == "x"
+    assert tree.pop(1, "gone") == "gone"
+    with pytest.raises(KeyError):
+        tree.pop(1)
+
+
+def test_min_max():
+    tree = AVLTree()
+    for key in [5, 2, 9]:
+        tree.insert(key, str(key))
+    assert tree.min_item() == (2, "2")
+    assert tree.max_item() == (9, "9")
+
+
+def test_min_on_empty_raises():
+    with pytest.raises(KeyError):
+        AVLTree().min_item()
+
+
+def test_neighbour_queries():
+    tree = AVLTree()
+    for key in [10, 20, 30]:
+        tree.insert(key, None)
+    assert tree.floor_item(25)[0] == 20
+    assert tree.floor_item(20)[0] == 20
+    assert tree.floor_item(5) is None
+    assert tree.ceiling_item(25)[0] == 30
+    assert tree.ceiling_item(30)[0] == 30
+    assert tree.ceiling_item(35) is None
+    assert tree.lower_item(20)[0] == 10
+    assert tree.higher_item(20)[0] == 30
+
+
+def test_range_iteration():
+    tree = AVLTree()
+    for key in range(0, 100, 10):
+        tree.insert(key, key)
+    keys = [k for k, _ in tree.items(lo=25, hi=65)]
+    assert keys == [30, 40, 50, 60]
+
+
+def test_full_iteration_sorted():
+    tree = AVLTree()
+    data = [5, 1, 9, 3, 7]
+    for key in data:
+        tree.insert(key, None)
+    assert [k for k, _ in tree] == sorted(data)
+
+
+def test_balance_under_sequential_insert():
+    tree = AVLTree()
+    for key in range(1000):
+        tree.insert(key, key)
+    tree.check_invariants()
+    # A balanced tree over 1000 keys has height <= 1.44 log2(1001) ~ 15.
+    assert tree._root.height <= 15
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-1000, 1000)))
+def test_matches_dict_reference(keys):
+    tree = AVLTree()
+    reference = {}
+    for key in keys:
+        tree.insert(key, key * 2)
+        reference[key] = key * 2
+    assert sorted(reference.items()) == list(tree.items())
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=200))
+def test_random_insert_delete(ops):
+    tree = AVLTree()
+    reference = {}
+    for is_insert, key in ops:
+        if is_insert:
+            tree.insert(key, key)
+            reference[key] = key
+        elif key in reference:
+            tree.delete(key)
+            del reference[key]
+    assert sorted(reference.items()) == list(tree.items())
+    tree.check_invariants()
+
+
+def test_large_random_workload_stays_balanced():
+    rng = random.Random(7)
+    tree = AVLTree()
+    reference = {}
+    for _ in range(3000):
+        key = rng.randrange(500)
+        if rng.random() < 0.6:
+            tree.insert(key, key)
+            reference[key] = key
+        elif key in reference:
+            tree.delete(key)
+            del reference[key]
+    tree.check_invariants()
+    assert sorted(reference) == list(tree.keys())

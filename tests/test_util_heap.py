@@ -1,0 +1,111 @@
+"""Tests for the addressable heap used by all Dijkstra variants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.heap import AddressableHeap
+
+
+def test_push_pop_order():
+    heap = AddressableHeap()
+    heap.push("a", 3)
+    heap.push("b", 1)
+    heap.push("c", 2)
+    assert heap.pop() == ("b", 1)
+    assert heap.pop() == ("c", 2)
+    assert heap.pop() == ("a", 3)
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        AddressableHeap().pop()
+
+
+def test_peek_does_not_remove():
+    heap = AddressableHeap()
+    heap.push("x", 5)
+    assert heap.peek() == ("x", 5)
+    assert len(heap) == 1
+
+
+def test_decrease_key():
+    heap = AddressableHeap()
+    heap.push("a", 10)
+    heap.push("b", 5)
+    assert heap.decrease_key("a", 1)
+    assert heap.pop() == ("a", 1)
+
+
+def test_decrease_key_noop_when_higher():
+    heap = AddressableHeap()
+    heap.push("a", 3)
+    assert not heap.decrease_key("a", 7)
+    assert heap.priority("a") == 3
+
+
+def test_push_existing_updates():
+    heap = AddressableHeap()
+    heap.push("a", 3)
+    heap.push("a", 1)
+    assert heap.pop() == ("a", 1)
+    assert not heap
+
+
+def test_membership_and_priority():
+    heap = AddressableHeap()
+    heap.push(("v", 1), 9)
+    assert ("v", 1) in heap
+    assert heap.priority(("v", 1)) == 9
+    assert ("v", 2) not in heap
+
+
+def test_remove():
+    heap = AddressableHeap()
+    for item, priority in [("a", 1), ("b", 2), ("c", 3)]:
+        heap.push(item, priority)
+    assert heap.remove("b") == 2
+    assert heap.remove("b") is None
+    assert [heap.pop()[0] for _ in range(2)] == ["a", "c"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+def test_heapsort_matches_sorted(values):
+    heap = AddressableHeap()
+    for index, value in enumerate(values):
+        heap.push(index, value)
+    out = []
+    while heap:
+        out.append(heap.pop()[1])
+    assert out == sorted(values)
+
+
+def test_random_workload_matches_reference():
+    rng = random.Random(11)
+    heap = AddressableHeap()
+    alive = {}
+    next_id = 0
+    for _ in range(2000):
+        op = rng.random()
+        if op < 0.5 or not alive:
+            priority = rng.randrange(10000)
+            heap.push(next_id, priority)
+            alive[next_id] = priority
+            next_id += 1
+        elif op < 0.8:
+            item = rng.choice(list(alive))
+            new_priority = rng.randrange(alive[item]) if alive[item] else 0
+            if heap.decrease_key(item, new_priority):
+                alive[item] = new_priority
+        else:
+            item, priority = heap.pop()
+            assert priority == min(alive.values())
+            assert alive.pop(item) == priority
+    while heap:
+        item, priority = heap.pop()
+        assert priority == min(alive.values())
+        assert alive.pop(item) == priority
+    assert not alive

@@ -1,0 +1,90 @@
+"""Tests for union-find and seeded RNG helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import make_rng, sample_distinct, weighted_choice
+from repro.util.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.component_count == 3
+        assert not uf.connected("a", "b")
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert uf.component_count == 1
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert not uf.union(1, 2)
+        assert uf.component_count == 1
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_lazy_add_on_find(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_components(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(g) for g in uf.components())
+        assert groups == [[0, 1], [2, 3], [4]]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20))))
+    def test_component_count_invariant(self, pairs):
+        uf = UnionFind(range(21))
+        merges = 0
+        for a, b in pairs:
+            if uf.union(a, b):
+                merges += 1
+        assert uf.component_count == 21 - merges
+
+
+class TestRng:
+    def test_deterministic_default(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_seed_changes_stream(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_weighted_choice_respects_zero_weights(self):
+        rng = make_rng(3)
+        for _ in range(50):
+            assert weighted_choice(rng, [0.0, 1.0, 0.0]) == 1
+
+    def test_weighted_choice_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), [0.0, 0.0])
+
+    def test_weighted_choice_distribution(self):
+        rng = make_rng(4)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[weighted_choice(rng, [1.0, 3.0])] += 1
+        assert 0.2 < counts[0] / 2000 < 0.3
+
+    def test_sample_distinct(self):
+        rng = make_rng(5)
+        sample = sample_distinct(rng, 100, 10)
+        assert len(set(sample)) == 10
+        assert sample == sorted(sample)
+        assert all(0 <= x < 100 for x in sample)
+
+    def test_sample_distinct_too_many(self):
+        with pytest.raises(ValueError):
+            sample_distinct(make_rng(0), 3, 5)
