@@ -34,6 +34,9 @@ def test_table1_chip(benchmark, spec):
     _RESULTS[spec.name] = (br, isr)
     benchmark.extra_info["br"] = br.as_dict()
     benchmark.extra_info["isr"] = isr.as_dict()
+    # Opens broken down by structured failure reason (resilience runtime):
+    # a clean run records an empty histogram, which is itself the check.
+    benchmark.extra_info["br_opens_by_reason"] = dict(br.failure_reasons)
     # Per-chip sanity only (tiny instances are noisy); the headline
     # netlength / via / scenic comparisons are asserted on the sums.
     assert br.netlength <= isr.netlength * 1.30
@@ -46,6 +49,10 @@ def test_table1_summary(benchmark):
         totals = {"flow": "SUM", "time": 0.0, "br_time": 0.0, "net": 0,
                   "vias": 0, "s25": 0, "s50": 0, "err": 0}
         totals_isr = dict(totals)
+        opens_by_reason = {}
+        for _name, (br, _isr) in sorted(_RESULTS.items()):
+            for reason, count in br.failure_reasons.items():
+                opens_by_reason[reason] = opens_by_reason.get(reason, 0) + count
         for name, (br, isr) in sorted(_RESULTS.items()):
             rows.append([name, "ISR", f"{isr.runtime_total:.1f}", "-",
                          isr.netlength, isr.vias, isr.scenic_25,
@@ -74,11 +81,22 @@ def test_table1_summary(benchmark):
              "scenic25", "scenic50", "errors"],
             rows,
         )
-        return totals, totals_isr
+        if opens_by_reason:
+            print_table(
+                "BR+ISR opens by failure reason",
+                ["reason", "opens"],
+                [[r, c] for r, c in sorted(opens_by_reason.items())],
+            )
+        else:
+            print("BR+ISR opens by failure reason: none (all nets routed)")
+        return totals, totals_isr, opens_by_reason
 
     if not _RESULTS:
         pytest.skip("per-chip benches did not run")
-    totals, totals_isr = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    totals, totals_isr, opens_by_reason = benchmark.pedantic(
+        summarize, rounds=1, iterations=1
+    )
+    benchmark.extra_info["sum_br_opens_by_reason"] = opens_by_reason
     benchmark.extra_info["sum_br"] = {k: v for k, v in totals.items() if k != "flow"}
     benchmark.extra_info["sum_isr"] = {
         k: v for k, v in totals_isr.items() if k != "flow"

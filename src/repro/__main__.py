@@ -38,11 +38,32 @@ def _cmd_route(args: argparse.Namespace) -> int:
     chip = read_chip_file(args.chip)
     if args.flow == "bonnroute":
         from repro.flow.bonnroute import BonnRouteFlow
+        from repro.flow.faults import FaultPlan
 
-        result = BonnRouteFlow(
-            chip, gr_phases=args.gr_phases, seed=args.seed,
-            cleanup=not args.no_cleanup,
-        ).run()
+        fault_plan = None
+        if args.inject_faults:
+            try:
+                fault_plan = FaultPlan.parse(
+                    args.inject_faults, seed=args.seed or 0
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        from repro.io.checkpoint import CheckpointError
+
+        try:
+            result = BonnRouteFlow(
+                chip, gr_phases=args.gr_phases, seed=args.seed,
+                cleanup=not args.no_cleanup,
+                fault_plan=fault_plan,
+                net_timeout_s=args.net_timeout,
+                stage_budget_s=args.stage_budget,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+            ).run()
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     else:
         from repro.flow.isr_flow import IsrFlow
 
@@ -50,6 +71,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
     write_routes_file(result.space.routes, args.output, chip.name)
     for key, value in result.metrics.as_dict().items():
         print(f"{key:13}: {value}")
+    report = getattr(result, "failure_report", None)
+    if report is not None and (
+        report.net_failures or report.degraded_stages or report.recovered_nets
+    ):
+        print("--- failure report ---")
+        for key, value in report.as_dict().items():
+            print(f"{key:13}: {value}")
     print(f"routes written to {args.output}")
     return 0 if result.detailed_result.failed == set() else 1
 
@@ -112,6 +140,28 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--gr-phases", type=int, default=15)
     route.add_argument("--seed", type=int, default=1)
     route.add_argument("--no-cleanup", action="store_true")
+    route.add_argument(
+        "--net-timeout", type=float, default=None, metavar="SECONDS",
+        help="soft per-net deadline inside the detailed search",
+    )
+    route.add_argument(
+        "--stage-budget", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock budget per routing stage",
+    )
+    route.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write stage checkpoints to PATH (JSON)",
+    )
+    route.add_argument(
+        "--resume", action="store_true",
+        help="resume from the --checkpoint file if present",
+    )
+    route.add_argument(
+        "--inject-faults", action="append", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'path_search:0.1' or 'steiner_oracle:0.05:raise:inf' "
+        "(site:fraction[:kind[:fires]]); repeatable",
+    )
     route.set_defaults(func=_cmd_route)
 
     drc = sub.add_parser("drc", help="check a routed chip")

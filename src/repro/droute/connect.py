@@ -29,6 +29,7 @@ from repro.droute.pinaccess import AccessPath
 from repro.droute.route import ViaInstance
 from repro.droute.samenet import postprocess_path
 from repro.droute.space import RoutingSpace, effective_via_type, effective_wire_type
+from repro.flow.resilience import DeadlineExceeded
 from repro.grid.shapegrid import RipupLevel
 from repro.grid.trackgraph import Vertex
 from repro.tech.wiring import StickFigure
@@ -60,6 +61,9 @@ class ConnectionResult:
         self.open_connections = 0
         self.ripped_nets: Set[str] = set()
         self.stats = ConnectionStats()
+        #: Set when a soft deadline expired mid-search; no new wiring was
+        #: committed for this net (the routing space stays consistent).
+        self.deadline_expired = False
 
     def __repr__(self) -> str:
         return (
@@ -81,6 +85,7 @@ class NetConnector:
         ripup_base_penalty: int = 0,
         detour_threshold: float = 1.8,
         spreading=None,
+        fault_injector=None,
     ) -> None:
         self.space = space
         self.costs = costs if costs is not None else SearchCosts()
@@ -104,6 +109,8 @@ class NetConnector:
         #: Optional WireSpreading model: extra costs on keep-free
         #: intervals (Sec. 4.2).
         self.spreading = spreading
+        #: Optional FaultInjector checked at the path-search boundary.
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     # Component connection vertices
@@ -215,7 +222,10 @@ class NetConnector:
         ripup_level: int,
         use_pi_p: bool,
         stats: ConnectionStats,
+        deadline=None,
     ) -> Optional[SearchResult]:
+        if self.fault_injector is not None:
+            self.fault_injector.check("path_search", net=net.name)
         view = GraphView(
             self.space,
             net.wire_type,
@@ -240,7 +250,10 @@ class NetConnector:
             pi = FutureCostH(self.space.graph, target_list, self.costs)
         search = interval_path_search if self.use_interval_search else node_path_search
         stats.searches += 1
-        result = search(view, {s: 0 for s in sources}, targets, self.costs, pi)
+        result = search(
+            view, {s: 0 for s in sources}, targets, self.costs, pi,
+            deadline=deadline,
+        )
         if result is not None:
             stats.labels += result.stats.labels_pushed
         else:
@@ -292,12 +305,17 @@ class NetConnector:
         area: Optional[RoutingArea] = None,
         max_ripup_level: int = -2,
         corridor_detour: float = 1.0,
+        deadline=None,
+        force_off_track_access: bool = False,
     ) -> ConnectionResult:
         """Connect all pins of ``net`` inside ``area``.
 
         ``max_ripup_level``: -2 forbids ripup; otherwise the deepest
         foreign ripup level the searches may cross.  ``corridor_detour``
         is the GR corridor's detour factor, used to pick pi_P over pi_H.
+        ``deadline`` aborts searches mid-run without committing any new
+        wiring; ``force_off_track_access`` generates off-track access
+        paths even for pins with on-track vertices (escalation rung b).
         """
         result = ConnectionResult(net.name)
         if area is None:
@@ -331,7 +349,7 @@ class NetConnector:
         dynamic_access: Dict[Vertex, AccessPath] = {}
         if self.planner is not None:
             for i, pin in enumerate(net.pins):
-                if vertex_sets[i]:
+                if vertex_sets[i] and not force_off_track_access:
                     continue
                 paths = self.planner.build_catalogue(pin)
                 if not paths:
@@ -355,117 +373,21 @@ class NetConnector:
             new_vias_all: List[Tuple[ViaInstance, bool]] = []
             failed_sources: Set[int] = set()
             guard = 0
-            while components.component_count > 1 and guard <= member_count * 3:
-                guard += 1
-                comp_vertices: Dict[int, Set[Vertex]] = {}
-                for i in range(member_count):
-                    root = components.find(i)
-                    in_area = {
-                        v for v in vertex_sets[i]
-                        if area.contains_vertex(self.space.graph, v)
-                    }
-                    comp_vertices.setdefault(root, set()).update(in_area)
-                viable = sorted(r for r, vs in comp_vertices.items() if vs)
-                if len(viable) < 2:
-                    # At most one component is reachable at all: the rest
-                    # stay open (counted below).
-                    result.open_connections = components.component_count - 1
-                    break
-                candidates = [r for r in viable if r not in failed_sources]
-                if not candidates:
-                    result.open_connections = components.component_count - 1
-                    break
-                source_root = candidates[0]
-                sources = comp_vertices[source_root]
-                target_map: Dict[Vertex, int] = {}
-                for i in range(member_count):
-                    root = components.find(i)
-                    if root == source_root or root not in viable:
-                        continue
-                    for vertex in vertex_sets[i]:
-                        if area.contains_vertex(self.space.graph, vertex):
-                            target_map[vertex] = i
-                targets = set(target_map)
-                search_result = self._search(
-                    net, sources, targets, area, -2, use_pi_p, result.stats
+            try:
+                self._connect_components(
+                    net, area, max_ripup_level, use_pi_p, deadline,
+                    vertex_sets, member_count, components, dynamic_access,
+                    failed_sources, new_sticks_all, new_vias_all, result,
+                    guard_limit=member_count * 3,
                 )
-                ripped_this_path: Set[str] = set()
-                if search_result is None and max_ripup_level >= 0:
-                    result.stats.ripup_searches += 1
-                    search_result = self._search(
-                        net, sources, targets, area, max_ripup_level,
-                        use_pi_p, result.stats,
-                    )
-                if search_result is None:
-                    # This component cannot reach the others; try another
-                    # source before giving up.
-                    failed_sources.add(source_root)
-                    continue
-                sticks, vias = self._path_to_route_items(search_result.vertices)
-                for vertex in search_result.ripup_vertices:
-                    self.ripup_history[vertex] = self.ripup_history.get(vertex, 0) + 1
-                blockers = self._blockers_of_path(net, sticks, vias)
-                for blocker in blockers:
-                    self.rip_net(blocker)
-                    ripped_this_path.add(blocker)
-                result.ripped_nets |= ripped_this_path
-                sticks = postprocess_path(
-                    self.space, net.name,
-                    lambda z: effective_wire_type(self.space.chip, net.wire_type, z)
-                    or net.wire_type,
-                    sticks,
-                )
-                # New shapes are committed only after the whole net is
-                # done (and its suspended shapes restored), so the net's
-                # own fresh wiring never blocks its remaining searches.
-                new_sticks_all.extend((stick, False) for stick in sticks)
-                new_vias_all.extend((via, False) for via in vias)
-                # Commit dynamically generated access paths the search
-                # actually connected through (Sec. 4.4).
-                for endpoint_vertex in (
-                    search_result.vertices[0],
-                    search_result.vertices[-1],
-                ):
-                    access = dynamic_access.pop(endpoint_vertex, None)
-                    if access is None:
-                        continue
-                    # Fallback jumpers over removable foreign wiring rip
-                    # that wiring out; the router requeues those nets.
-                    for blocker in access.blockers:
-                        if blocker == net.name:
-                            continue
-                        self.rip_net(blocker)
-                        result.ripped_nets.add(blocker)
-                    new_sticks_all.extend(
-                        (stick, True) for stick in access.sticks()
-                    )
-                    if access.via is not None:
-                        new_vias_all.append((access.via, True))
-                # Merge components: the reached target belongs to one pin.
-                reached = search_result.vertices[-1]
-                target_pin = target_map.get(reached)
-                if target_pin is None:
-                    # Bulk-processed run endpoint: find any target vertex
-                    # on the final path.
-                    for vertex in reversed(search_result.vertices):
-                        if vertex in target_map:
-                            target_pin = target_map[vertex]
-                            break
-                if target_pin is None:
-                    result.open_connections = components.component_count - 1
-                    break
-                source_pin = next(
-                    i for i in range(member_count)
-                    if components.find(i) == source_root
-                )
-                components.union(source_pin, target_pin)
-                failed_sources.clear()  # a merge changes reachability
-                # The new path's vertices join the merged component.
-                merged_root = components.find(source_pin)
-                path_vertices = set(search_result.vertices)
-                for i in range(member_count):
-                    if components.find(i) == merged_root:
-                        vertex_sets[i] |= path_vertices
+            except DeadlineExceeded:
+                # Abort without committing anything found so far: the
+                # space holds no half-inserted wires (searches never
+                # mutate it), and ripped victims are reported so the
+                # router requeues them.
+                result.deadline_expired = True
+                new_sticks_all.clear()
+                new_vias_all.clear()
             result.success = components.component_count == 1
             if not result.success:
                 result.open_connections = max(
@@ -473,6 +395,8 @@ class NetConnector:
                 )
         finally:
             self.space.restore_net(token)
+        if result.deadline_expired:
+            return result
         level = (
             int(RipupLevel.CRITICAL) if net.weight > 1.0 else int(RipupLevel.NORMAL)
         )
@@ -490,3 +414,138 @@ class NetConnector:
             )
             self.space.add_via(net.name, type_name, via, level, off_track=off_track)
         return result
+
+    def _connect_components(
+        self,
+        net: Net,
+        area: RoutingArea,
+        max_ripup_level: int,
+        use_pi_p: bool,
+        deadline,
+        vertex_sets: Dict[int, Set[Vertex]],
+        member_count: int,
+        components: UnionFind,
+        dynamic_access: Dict[Vertex, "AccessPath"],
+        failed_sources: Set[int],
+        new_sticks_all: List[Tuple[StickFigure, bool]],
+        new_vias_all: List[Tuple[ViaInstance, bool]],
+        result: ConnectionResult,
+        guard_limit: int,
+    ) -> None:
+        """The source/target iteration of Sec. 4.4 (extracted so a
+        deadline can abort it as one unit)."""
+        guard = 0
+        while components.component_count > 1 and guard <= guard_limit:
+            if deadline is not None:
+                deadline.check()
+            guard += 1
+            comp_vertices: Dict[int, Set[Vertex]] = {}
+            for i in range(member_count):
+                root = components.find(i)
+                in_area = {
+                    v for v in vertex_sets[i]
+                    if area.contains_vertex(self.space.graph, v)
+                }
+                comp_vertices.setdefault(root, set()).update(in_area)
+            viable = sorted(r for r, vs in comp_vertices.items() if vs)
+            if len(viable) < 2:
+                # At most one component is reachable at all: the rest
+                # stay open (counted below).
+                result.open_connections = components.component_count - 1
+                break
+            candidates = [r for r in viable if r not in failed_sources]
+            if not candidates:
+                result.open_connections = components.component_count - 1
+                break
+            source_root = candidates[0]
+            sources = comp_vertices[source_root]
+            target_map: Dict[Vertex, int] = {}
+            for i in range(member_count):
+                root = components.find(i)
+                if root == source_root or root not in viable:
+                    continue
+                for vertex in vertex_sets[i]:
+                    if area.contains_vertex(self.space.graph, vertex):
+                        target_map[vertex] = i
+            targets = set(target_map)
+            search_result = self._search(
+                net, sources, targets, area, -2, use_pi_p, result.stats,
+                deadline=deadline,
+            )
+            ripped_this_path: Set[str] = set()
+            if search_result is None and max_ripup_level >= 0:
+                result.stats.ripup_searches += 1
+                search_result = self._search(
+                    net, sources, targets, area, max_ripup_level,
+                    use_pi_p, result.stats, deadline=deadline,
+                )
+            if search_result is None:
+                # This component cannot reach the others; try another
+                # source before giving up.
+                failed_sources.add(source_root)
+                continue
+            sticks, vias = self._path_to_route_items(search_result.vertices)
+            for vertex in search_result.ripup_vertices:
+                self.ripup_history[vertex] = self.ripup_history.get(vertex, 0) + 1
+            blockers = self._blockers_of_path(net, sticks, vias)
+            for blocker in blockers:
+                self.rip_net(blocker)
+                ripped_this_path.add(blocker)
+            result.ripped_nets |= ripped_this_path
+            sticks = postprocess_path(
+                self.space, net.name,
+                lambda z: effective_wire_type(self.space.chip, net.wire_type, z)
+                or net.wire_type,
+                sticks,
+            )
+            # New shapes are committed only after the whole net is
+            # done (and its suspended shapes restored), so the net's
+            # own fresh wiring never blocks its remaining searches.
+            new_sticks_all.extend((stick, False) for stick in sticks)
+            new_vias_all.extend((via, False) for via in vias)
+            # Commit dynamically generated access paths the search
+            # actually connected through (Sec. 4.4).
+            for endpoint_vertex in (
+                search_result.vertices[0],
+                search_result.vertices[-1],
+            ):
+                access = dynamic_access.pop(endpoint_vertex, None)
+                if access is None:
+                    continue
+                # Fallback jumpers over removable foreign wiring rip
+                # that wiring out; the router requeues those nets.
+                for blocker in access.blockers:
+                    if blocker == net.name:
+                        continue
+                    self.rip_net(blocker)
+                    result.ripped_nets.add(blocker)
+                new_sticks_all.extend(
+                    (stick, True) for stick in access.sticks()
+                )
+                if access.via is not None:
+                    new_vias_all.append((access.via, True))
+            # Merge components: the reached target belongs to one pin.
+            reached = search_result.vertices[-1]
+            target_pin = target_map.get(reached)
+            if target_pin is None:
+                # Bulk-processed run endpoint: find any target vertex
+                # on the final path.
+                for vertex in reversed(search_result.vertices):
+                    if vertex in target_map:
+                        target_pin = target_map[vertex]
+                        break
+            if target_pin is None:
+                result.open_connections = components.component_count - 1
+                break
+            source_pin = next(
+                i for i in range(member_count)
+                if components.find(i) == source_root
+            )
+            components.union(source_pin, target_pin)
+            failed_sources.clear()  # a merge changes reachability
+            # The new path's vertices join the merged component.
+            merged_root = components.find(source_pin)
+            path_vertices = set(search_result.vertices)
+            for i in range(member_count):
+                if components.find(i) == merged_root:
+                    vertex_sets[i] |= path_vertices

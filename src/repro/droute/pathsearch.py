@@ -29,6 +29,11 @@ from repro.util.heap import AddressableHeap
 
 INFINITY = 1 << 60
 
+#: A soft deadline is polled once per this many heap pops: frequent
+#: enough that an expiring search stops promptly, rare enough that the
+#: clock read never shows up in profiles.
+DEADLINE_CHECK_STRIDE = 64
+
 
 class SearchStats:
     """Instrumentation for the interval-vs-node comparison (Sec. 4.1)."""
@@ -102,11 +107,15 @@ def interval_path_search(
     targets: Set[Vertex],
     costs: SearchCosts,
     pi: Callable[[Vertex], int],
+    deadline=None,
 ) -> Optional[SearchResult]:
     """Shortest path by interval labelling (Algorithm 4).
 
     ``sources`` maps source vertices to non-negative start offsets;
     ``targets`` is the target vertex set (pi must vanish there).
+    ``deadline`` (a :class:`repro.flow.resilience.Deadline`) is polled
+    every few pops; expiry raises ``DeadlineExceeded`` mid-search, which
+    is safe because the search never mutates the routing space.
     """
     graph = view.graph
     stats = SearchStats()
@@ -205,6 +214,8 @@ def interval_path_search(
     while heap:
         vertex, d = heap.pop()
         stats.pops += 1
+        if deadline is not None and stats.pops % DEADLINE_CHECK_STRIDE == 0:
+            deadline.check()
         if vertex in processed:
             continue
         if d > dist.get(vertex, INFINITY):
@@ -266,6 +277,7 @@ def node_path_search(
     targets: Set[Vertex],
     costs: SearchCosts,
     pi: Callable[[Vertex], int],
+    deadline=None,
 ) -> Optional[SearchResult]:
     """Classical node-labelling Dijkstra (the ablation baseline)."""
     graph = view.graph
@@ -291,6 +303,8 @@ def node_path_search(
     while heap:
         vertex, d = heap.pop()
         stats.pops += 1
+        if deadline is not None and stats.pops % DEADLINE_CHECK_STRIDE == 0:
+            deadline.check()
         if vertex in processed:
             continue
         processed.add(vertex)

@@ -103,12 +103,16 @@ class PinAccessPlanner:
         radius_pitches: int = 4,
         max_endpoints: int = 10,
         max_paths: int = 6,
+        fault_injector=None,
     ) -> None:
         self.space = space
         self.wire_type_name = wire_type_name
         self.radius_pitches = radius_pitches
         self.max_endpoints = max_endpoints
         self.max_paths = max_paths
+        #: Optional :class:`repro.flow.faults.FaultInjector` probed at the
+        #: "pin_access" site (deterministic fault-injection harness).
+        self.fault_injector = fault_injector
         #: Catalogue cache per circuit class (Sec. 4.3); key includes the
         #: track phase and the neighbourhood geometry.
         self._class_cache: Dict[Tuple, Dict[str, List[AccessPath]]] = {}
@@ -163,6 +167,9 @@ class PinAccessPlanner:
         self, pin: Pin, radius_pitches: Optional[int] = None
     ) -> List[AccessPath]:
         """DRC-clean tau-feasible access paths for one pin."""
+        if self.fault_injector is not None:
+            net_name = pin.net.name if pin.net is not None else None
+            self.fault_injector.check("pin_access", net=net_name)
         chip = self.space.chip
         pin_layer = pin.layers[0]
         pitch = chip.stack[pin_layer].pitch

@@ -7,8 +7,16 @@ Orchestrates the full detailed-routing flow of the paper:
 2. critical nets (weight > 1) route first (Sec. 5.1);
 3. remaining nets route in partition rounds (Sec. 5.1), each restricted
    to its global-routing corridor when one is given (Sec. 4.4);
-4. failed nets are retried with growing ripup effort and expanded
-   routing areas; nets ripped out by others re-enter the queue.
+4. failed nets climb the escalation ladder: growing ripup effort and
+   expanded routing areas (the paper's retry discipline), then forced
+   off-track access, then the ISR-baseline node search as a fallback
+   engine; nets ripped out by others re-enter the queue.
+
+A net that exhausts the ladder is recorded as a structured
+:class:`~repro.flow.resilience.NetFailure` instead of raising, so one
+pathological net cannot abort the whole chip.  Per-net soft deadlines
+and a hard per-stage wall-clock budget bound how long any of this may
+take.
 """
 
 from __future__ import annotations
@@ -24,7 +32,20 @@ from repro.droute.future_cost import SearchCosts
 from repro.droute.partition import assign_nets_to_rounds, partition_sequence
 from repro.droute.pinaccess import PinAccessPlanner
 from repro.droute.space import RoutingSpace
-from repro.grid.shapegrid import RipupLevel
+from repro.flow.resilience import (
+    Deadline,
+    EscalationRung,
+    NetFailure,
+    NetRetryPolicy,
+    REASON_EXCEPTION,
+    REASON_STAGE_BUDGET,
+    REASON_TIMEOUT,
+    REASON_UNROUTABLE,
+    escalation_ladder,
+)
+
+#: Stage label used in :class:`NetFailure` records from this router.
+STAGE_NAME = "detailed"
 
 
 class DetailedRoutingResult:
@@ -42,6 +63,17 @@ class DetailedRoutingResult:
         self.ripup_events = 0
         self.access_cache_hits = 0
         self.access_cache_misses = 0
+        #: net name -> structured failure record for every failed net.
+        self.failures: Dict[str, NetFailure] = {}
+        #: Nets that failed at least one attempt but eventually routed,
+        #: mapped to the ladder rung that succeeded.
+        self.recovered: Dict[str, str] = {}
+        #: Total retry attempts (queue re-entries past the first try).
+        self.retries = 0
+        #: Attempts run on a rung beyond the baseline retry discipline.
+        self.escalations = 0
+        #: Set when the hard stage budget expired with nets still queued.
+        self.stage_budget_exhausted = False
 
     @property
     def opens(self) -> int:
@@ -59,6 +91,10 @@ class DetailedRoutingResult:
             "runtime": self.runtime,
             "searches": self.stats.searches,
             "ripup_events": self.ripup_events,
+            "retries": self.retries,
+            "escalations": self.escalations,
+            "recovered": len(self.recovered),
+            "stage_budget_exhausted": self.stage_budget_exhausted,
         }
 
 
@@ -76,6 +112,10 @@ class DetailedRouter:
         use_interval_search: bool = True,
         enable_pin_access: bool = True,
         spreading=None,
+        fault_injector=None,
+        net_deadline_s: Optional[float] = None,
+        stage_budget_s: Optional[float] = None,
+        retry_policy: Optional[NetRetryPolicy] = None,
     ) -> None:
         self.space = space
         self.chip = space.chip
@@ -88,7 +128,16 @@ class DetailedRouter:
         self.max_retry_rounds = max_retry_rounds
         self.use_interval_search = use_interval_search
         self.enable_pin_access = enable_pin_access
-        self.planner = PinAccessPlanner(space)
+        self.fault_injector = fault_injector
+        self.net_deadline_s = net_deadline_s
+        self.stage_budget_s = stage_budget_s
+        self.ladder: List[EscalationRung] = escalation_ladder(max_retry_rounds)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else NetRetryPolicy(max_attempts=len(self.ladder))
+        )
+        self.planner = PinAccessPlanner(space, fault_injector=fault_injector)
         self.connector = NetConnector(
             space,
             costs=self.costs,
@@ -96,7 +145,24 @@ class DetailedRouter:
             planner=self.planner,
             use_interval_search=use_interval_search,
             spreading=spreading,
+            fault_injector=fault_injector,
         )
+        #: Lazily built node-search connector for the isr_fallback rung.
+        #: It shares the access paths and planner with the primary
+        #: connector but carries no fault injector: it is the independent
+        #: engine that survives faults in the interval machinery.
+        self._fallback: Optional[NetConnector] = None
+
+    def _fallback_connector(self) -> NetConnector:
+        if self._fallback is None:
+            self._fallback = NetConnector(
+                self.space,
+                costs=self.costs,
+                access_paths=self.connector.access_paths,
+                planner=self.planner,
+                use_interval_search=False,
+            )
+        return self._fallback
 
     # ------------------------------------------------------------------
     # Pin access preprocessing (Sec. 4.3)
@@ -113,8 +179,14 @@ class DetailedRouter:
             circuit = circuits.get(circuit_id)
             if circuit is None:
                 continue
-            catalogues = self.planner.circuit_catalogues(circuit, pins)
-            solution = self.planner.conflict_free_solution(catalogues)
+            try:
+                catalogues = self.planner.circuit_catalogues(circuit, pins)
+                solution = self.planner.conflict_free_solution(catalogues)
+            except Exception:  # noqa: BLE001 - isolation boundary
+                # A fault while preprocessing one circuit costs only its
+                # reserved access paths; the connector generates dynamic
+                # access for those pins during routing instead.
+                continue
             if solution is None:
                 continue
             for pin_name, path in solution.items():
@@ -141,12 +213,14 @@ class DetailedRouter:
             ordered.extend(net for _region, net in round_sorted)
         return ordered
 
-    def _area_for(self, net: Net, expansion: int = 0) -> Tuple[RoutingArea, float]:
+    def _area_for(
+        self, net: Net, expansion: Optional[int] = 0
+    ) -> Tuple[RoutingArea, float]:
         area = self.corridors.get(net.name)
         if area is None:
             return RoutingArea.everywhere(), 1.0
         detour = self.corridor_detours.get(net.name, 1.0)
-        if expansion >= self.max_retry_rounds:
+        if expansion is None or expansion >= self.max_retry_rounds:
             # Last chance: drop the corridor entirely (Sec. 4.4, "extended
             # routing area").
             return RoutingArea.everywhere(), detour
@@ -154,6 +228,17 @@ class DetailedRouter:
             pitch = self.chip.stack[self.chip.stack.bottom].pitch
             area = area.expanded(expansion * 8 * pitch)
         return area, detour
+
+    def _rung_for(self, attempt: int) -> EscalationRung:
+        return self.ladder[min(attempt, len(self.ladder) - 1)]
+
+    def _attempt_deadline(
+        self, stage_deadline: Optional[Deadline]
+    ) -> Optional[Deadline]:
+        net_deadline = (
+            Deadline(self.net_deadline_s) if self.net_deadline_s is not None else None
+        )
+        return Deadline.soonest(net_deadline, stage_deadline)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -163,47 +248,121 @@ class DetailedRouter:
         if nets is None:
             nets = self.chip.nets
         result = DetailedRoutingResult(self.chip)
+        stage_deadline = (
+            Deadline(self.stage_budget_s) if self.stage_budget_s is not None else None
+        )
         if self.enable_pin_access:
             self.preprocess_pin_access(nets)
         queue: List[Tuple[Net, int]] = [(net, 0) for net in self._order_nets(nets)]
         nets_by_name = {net.name: net for net in nets}
         attempt_counts: Dict[str, int] = {}
+        #: Ladder rungs attempted and last error text, per net.
+        rungs_tried: Dict[str, List[str]] = {}
+        last_error: Dict[str, Optional[str]] = {}
+
+        def record_failure(
+            net: Net, reason: str, open_connections: int = 0
+        ) -> None:
+            result.failed.add(net.name)
+            result.routed.discard(net.name)
+            result.failures[net.name] = NetFailure(
+                net.name,
+                STAGE_NAME,
+                reason,
+                attempts=attempt_counts.get(net.name, 0),
+                rungs_tried=rungs_tried.get(net.name, []),
+                error=last_error.get(net.name),
+                open_connections=open_connections,
+            )
+
         while queue:
+            if stage_deadline is not None and stage_deadline.expired:
+                # Hard budget: everything still queued becomes a
+                # structured open instead of silently vanishing.
+                result.stage_budget_exhausted = True
+                for net, _attempt in queue:
+                    if net.name in result.routed or net.name in result.failed:
+                        continue
+                    record_failure(net, REASON_STAGE_BUDGET, open_connections=1)
+                    result.open_connections += 1
+                break
             net, attempt = queue.pop(0)
             attempt_counts[net.name] = attempt_counts.get(net.name, 0) + 1
-            if attempt_counts[net.name] > self.max_retry_rounds + 2:
-                result.failed.add(net.name)
-                result.routed.discard(net.name)
+            if attempt_counts[net.name] > len(self.ladder) + 2:
+                # Ripup ping-pong guard: a net bounced around this often
+                # is declared open rather than looping forever.
+                record_failure(net, REASON_UNROUTABLE, open_connections=1)
+                result.open_connections += 1
                 continue
-            area, detour = self._area_for(net, expansion=attempt)
-            # Retry rounds allow deeper ripup (Sec. 4.4: "reconsidered
-            # later with higher ripup effort and extended routing area").
-            if attempt == 0:
-                ripup = -2
-            elif attempt == 1:
-                ripup = int(RipupLevel.RESERVED)
-            else:
-                ripup = int(RipupLevel.NORMAL)
-            connection = self.connector.connect_net(
-                net, area, max_ripup_level=ripup, corridor_detour=detour
+            if attempt > 0:
+                result.retries += 1
+                self.retry_policy.backoff(attempt)
+            rung = self._rung_for(attempt)
+            if attempt >= len(self.ladder) - 2 and rung.name != "baseline":
+                result.escalations += 1
+            rungs_tried.setdefault(net.name, [])
+            if not rungs_tried[net.name] or rungs_tried[net.name][-1] != rung.name:
+                rungs_tried[net.name].append(rung.name)
+            area, detour = self._area_for(net, expansion=rung.corridor_expansion)
+            connector = (
+                self._fallback_connector()
+                if rung.engine == "isr"
+                else self.connector
             )
-            result.stats.merge(connection.stats)
-            if connection.ripped_nets:
-                result.ripup_events += len(connection.ripped_nets)
-                for ripped_name in connection.ripped_nets:
-                    ripped_net = nets_by_name.get(ripped_name)
-                    if ripped_net is None:
-                        continue
-                    result.routed.discard(ripped_name)
-                    queue.append((ripped_net, attempt_counts.get(ripped_name, 0)))
-            if connection.success:
-                result.routed.add(net.name)
-                result.failed.discard(net.name)
-            elif attempt < self.max_retry_rounds:
-                queue.append((net, attempt + 1))
+            deadline = self._attempt_deadline(stage_deadline)
+            failure_reason: Optional[str] = None
+            connection = None
+            try:
+                connection = connector.connect_net(
+                    net,
+                    area,
+                    max_ripup_level=rung.ripup_level,
+                    corridor_detour=detour,
+                    deadline=deadline,
+                    force_off_track_access=rung.force_off_track_access,
+                )
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                # Per-net isolation: an injected or genuine fault in the
+                # search machinery costs one attempt, not the chip.
+                last_error[net.name] = f"{type(error).__name__}: {error}"
+                failure_reason = REASON_EXCEPTION
+            if connection is not None:
+                result.stats.merge(connection.stats)
+                if connection.ripped_nets:
+                    result.ripup_events += len(connection.ripped_nets)
+                    for ripped_name in connection.ripped_nets:
+                        ripped_net = nets_by_name.get(ripped_name)
+                        if ripped_net is None:
+                            continue
+                        result.routed.discard(ripped_name)
+                        queue.append(
+                            (ripped_net, attempt_counts.get(ripped_name, 0))
+                        )
+                if connection.deadline_expired:
+                    last_error[net.name] = "soft deadline expired mid-search"
+                    failure_reason = REASON_TIMEOUT
+                elif connection.success:
+                    result.routed.add(net.name)
+                    result.failed.discard(net.name)
+                    result.failures.pop(net.name, None)
+                    if attempt > 0:
+                        result.recovered[net.name] = rung.name
+                    continue
+                else:
+                    failure_reason = REASON_UNROUTABLE
+            next_attempt = attempt + 1
+            if next_attempt < len(self.ladder) and self.retry_policy.allows(
+                next_attempt
+            ):
+                queue.append((net, next_attempt))
             else:
-                result.failed.add(net.name)
-                result.open_connections += connection.open_connections
+                opens = (
+                    connection.open_connections
+                    if connection is not None and connection.open_connections
+                    else 1
+                )
+                record_failure(net, failure_reason or REASON_UNROUTABLE, opens)
+                result.open_connections += opens
         result.wire_length = self.space.total_wire_length()
         result.via_count = self.space.total_via_count()
         result.runtime = time.time() - start

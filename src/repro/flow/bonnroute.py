@@ -8,6 +8,13 @@
 4. Detailed routing restricted to the global corridors, critical nets
    first.
 5. External-style local DRC cleanup.
+
+The flow is fault tolerant (PR 1): each stage runs behind an isolation
+boundary, per-net failures surface as structured
+:class:`~repro.flow.resilience.NetFailure` records instead of
+exceptions, stage progress is checkpointed to disk so a killed run
+resumes, and a seeded :class:`~repro.flow.faults.FaultInjector` can be
+attached to exercise all of it deterministically.
 """
 
 from __future__ import annotations
@@ -21,9 +28,26 @@ from repro.chip.net import Net
 from repro.droute.area import RoutingArea
 from repro.droute.router import DetailedRouter, DetailedRoutingResult
 from repro.droute.space import RoutingSpace
+from repro.flow.faults import FaultInjector, FaultPlan
+from repro.flow.resilience import (
+    Deadline,
+    FlowFailureReport,
+    NetFailure,
+)
 from repro.flow.stats import FlowMetrics, collect_metrics
 from repro.grid.tracks import build_track_plan
+from repro.groute.graph import GlobalRoutingGraph
 from repro.groute.router import GlobalRouter, GlobalRoutingResult
+from repro.io.checkpoint import (
+    STAGE_DETAILED,
+    STAGE_GLOBAL,
+    build_checkpoint,
+    checkpoint_routes,
+    global_routes_from_data,
+    load_checkpoint,
+    save_checkpoint,
+    stage_reached,
+)
 
 
 class FlowResult:
@@ -36,6 +60,7 @@ class FlowResult:
         self.detailed_result: Optional[DetailedRoutingResult] = None
         self.cleanup_report: Optional[CleanupReport] = None
         self.metrics: Optional[FlowMetrics] = None
+        self.failure_report: FlowFailureReport = FlowFailureReport()
         self.runtime_total = 0.0
         self.runtime_router = 0.0  # routing without cleanup ("BR" column)
 
@@ -53,6 +78,11 @@ class BonnRouteFlow:
         cleanup: bool = True,
         corridor_margin_tiles: int = 1,
         preroute_local_nets: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        net_timeout_s: Optional[float] = None,
+        stage_budget_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         self.chip = chip
         self.gr_phases = gr_phases
@@ -62,63 +92,201 @@ class BonnRouteFlow:
         self.cleanup = cleanup
         self.corridor_margin_tiles = corridor_margin_tiles
         self.preroute_local_nets = preroute_local_nets
-
-    def run(self) -> FlowResult:
-        start = time.time()
-        result = FlowResult(self.chip)
-        plan = build_track_plan(self.chip)
-        space = RoutingSpace(self.chip, track_plan=plan)
-        result.space = space
-
-        # Prerouting of single-tile nets (Sec. 2.5): route them inside a
-        # slightly enlarged tile area before capacity estimation, then
-        # feed their wiring to the estimator as extra obstacles.
-        prerouted: set = set()
-        extra_obstacles = []
-        if self.preroute_local_nets:
-            from repro.groute.graph import GlobalRoutingGraph
-
-            probe = GlobalRoutingGraph(self.chip, self.gr_tile_size)
-            local_nets = [
-                net for net in self.chip.nets if probe.is_local_net(net)
-            ]
-            if local_nets:
-                corridors = {}
-                for net in local_nets:
-                    box = net.bounding_box().expanded(2 * probe.tile_size)
-                    clipped = box.intersection(self.chip.die) or self.chip.die
-                    corridors[net.name] = RoutingArea.from_boxes(
-                        [(z, clipped) for z in self.chip.stack.indices]
-                    )
-                pre_router = DetailedRouter(
-                    space, corridors=corridors, threads=self.threads
-                )
-                pre_result = pre_router.run(local_nets)
-                prerouted = set(pre_result.routed)
-                for name in prerouted:
-                    route = space.routes.get(name)
-                    if route is None:
-                        continue
-                    for stick, _lvl, type_name in route.wire_items():
-                        wire_type = self.chip.wire_type(type_name)
-                        shape, _c, _k = wire_type.wire_shape(
-                            stick, self.chip.stack
-                        )
-                        extra_obstacles.append((stick.layer, shape))
-
-        # Global routing (local nets are filtered inside).
-        global_router = GlobalRouter(
-            self.chip,
-            tile_size=self.gr_tile_size,
-            phases=self.gr_phases,
-            seed=self.seed,
-            track_plan=plan,
-            extra_obstacles=extra_obstacles or None,
+        self.fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
         )
-        global_result = global_router.run()
-        result.global_result = global_result
+        self.net_timeout_s = net_timeout_s
+        self.stage_budget_s = stage_budget_s
+        self.checkpoint_path = checkpoint_path
+        self.resume = resume
 
-        # Corridors; local nets route inside their (enlarged) tile.
+    # ------------------------------------------------------------------
+    # Checkpoint helpers
+    # ------------------------------------------------------------------
+    def _load_resume_checkpoint(self) -> Optional[Dict[str, object]]:
+        if not self.resume or self.checkpoint_path is None:
+            return None
+        return load_checkpoint(
+            self.checkpoint_path, chip_name=self.chip.name, seed=self.seed
+        )
+
+    def _replay_routes(
+        self, space: RoutingSpace, checkpoint: Dict[str, object]
+    ) -> None:
+        """Re-commit the checkpointed wiring into a fresh routing space.
+
+        ``off_track=True`` marks every touched fast-grid region dirty, so
+        usability is re-derived from the shape grid on first use — the
+        replayed space behaves identically to the one the original run
+        had in memory.
+        """
+        for route in checkpoint_routes(checkpoint).values():
+            for stick, level, type_name in route.wire_items():
+                space.add_wire(
+                    route.net_name, type_name, stick, level, off_track=True
+                )
+            for via, level, type_name in route.via_items():
+                space.add_via(
+                    route.net_name, type_name, via, level, off_track=True
+                )
+
+    def _save_checkpoint(
+        self,
+        stage: str,
+        space: RoutingSpace,
+        tile_size: int,
+        global_routes,
+        local_nets: Sequence[str],
+        prerouted: Sequence[str],
+        detailed: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        checkpoint = build_checkpoint(
+            stage,
+            self.chip.name,
+            self.seed,
+            tile_size,
+            space.routes,
+            global_routes,
+            sorted(local_nets),
+            sorted(prerouted),
+            detailed=detailed,
+        )
+        save_checkpoint(self.checkpoint_path, checkpoint)
+
+    @staticmethod
+    def _detailed_summary_data(
+        detailed_result: DetailedRoutingResult,
+    ) -> Dict[str, object]:
+        return {
+            "routed": sorted(detailed_result.routed),
+            "failed": sorted(detailed_result.failed),
+            "open_connections": detailed_result.open_connections,
+            "retries": detailed_result.retries,
+            "escalations": detailed_result.escalations,
+            "recovered": dict(detailed_result.recovered),
+            "failures": [
+                failure.as_dict()
+                for failure in detailed_result.failures.values()
+            ],
+        }
+
+    def _detailed_result_from_data(
+        self, data: Dict[str, object]
+    ) -> DetailedRoutingResult:
+        result = DetailedRoutingResult(self.chip)
+        result.routed = set(data.get("routed", ()))
+        result.failed = set(data.get("failed", ()))
+        result.open_connections = int(data.get("open_connections", 0))
+        result.retries = int(data.get("retries", 0))
+        result.escalations = int(data.get("escalations", 0))
+        result.recovered = dict(data.get("recovered", {}))
+        for record in data.get("failures", ()):
+            failure = NetFailure.from_dict(record)
+            result.failures[failure.net_name] = failure
+        return result
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def _preroute(
+        self, space: RoutingSpace, report: FlowFailureReport
+    ) -> Tuple[Set[str], List]:
+        """Preroute single-tile nets (Sec. 2.5); returns (names, obstacles)."""
+        prerouted: Set[str] = set()
+        extra_obstacles: List = []
+        if not self.preroute_local_nets:
+            return prerouted, extra_obstacles
+        probe = GlobalRoutingGraph(self.chip, self.gr_tile_size)
+        local_nets = [net for net in self.chip.nets if probe.is_local_net(net)]
+        if not local_nets:
+            return prerouted, extra_obstacles
+        corridors = {}
+        for net in local_nets:
+            box = net.bounding_box().expanded(2 * probe.tile_size)
+            clipped = box.intersection(self.chip.die) or self.chip.die
+            corridors[net.name] = RoutingArea.from_boxes(
+                [(z, clipped) for z in self.chip.stack.indices]
+            )
+        pre_router = DetailedRouter(
+            space,
+            corridors=corridors,
+            threads=self.threads,
+            fault_injector=self.fault_injector,
+            net_deadline_s=self.net_timeout_s,
+        )
+        pre_result = pre_router.run(local_nets)
+        report.retries += pre_result.retries
+        report.escalations += pre_result.escalations
+        for name, rung in pre_result.recovered.items():
+            report.record_recovery(name, rung)
+        prerouted = set(pre_result.routed)
+        for name in prerouted:
+            route = space.routes.get(name)
+            if route is None:
+                continue
+            for stick, _lvl, type_name in route.wire_items():
+                wire_type = self.chip.wire_type(type_name)
+                shape, _c, _k = wire_type.wire_shape(stick, self.chip.stack)
+                extra_obstacles.append((stick.layer, shape))
+        return prerouted, extra_obstacles
+
+    def _run_global(
+        self,
+        plan,
+        extra_obstacles: List,
+        report: FlowFailureReport,
+    ) -> GlobalRoutingResult:
+        """Global routing behind a stage isolation boundary.
+
+        A fault that escapes the per-net isolation inside the solver
+        degrades the stage: detailed routing proceeds without corridors
+        (every net may route anywhere), which is slower but correct.
+        """
+        deadline = (
+            Deadline(self.stage_budget_s)
+            if self.stage_budget_s is not None
+            else None
+        )
+        try:
+            global_router = GlobalRouter(
+                self.chip,
+                tile_size=self.gr_tile_size,
+                phases=self.gr_phases,
+                seed=self.seed,
+                track_plan=plan,
+                extra_obstacles=extra_obstacles or None,
+                fault_injector=self.fault_injector,
+            )
+            global_result = global_router.run(deadline=deadline)
+        except Exception as error:  # noqa: BLE001 - stage isolation
+            report.degraded_stages[STAGE_GLOBAL] = (
+                f"global routing failed ({type(error).__name__}: {error}); "
+                "detailed routing runs without corridors"
+            )
+            graph = GlobalRoutingGraph(self.chip, self.gr_tile_size)
+            fallback = GlobalRoutingResult(self.chip, graph)
+            for net in self.chip.nets:
+                if graph.is_local_net(net):
+                    fallback.local_nets.add(net.name)
+            return fallback
+        fractional = global_result.fractional
+        if fractional is not None:
+            report.global_faults += fractional.oracle_faults
+            if fractional.deadline_hit:
+                report.degraded_stages[STAGE_GLOBAL] = (
+                    f"stage budget cut resource sharing short after "
+                    f"{fractional.phases_run} phases"
+                )
+        if global_result.rounding_stats is not None:
+            report.global_faults += global_result.rounding_stats.rounding_faults
+        return global_result
+
+    def _corridors_from_routes(
+        self,
+        global_result: GlobalRoutingResult,
+    ) -> Tuple[Dict[str, RoutingArea], Dict[str, float]]:
         corridors: Dict[str, RoutingArea] = global_result.corridors(
             self.corridor_margin_tiles
         )
@@ -127,28 +295,102 @@ class BonnRouteFlow:
             detours[name] = global_result.corridor_detour(name)
         for name in global_result.local_nets:
             net = self.chip.net(name)
-            box = net.bounding_box().expanded(2 * global_router.graph.tile_size)
+            box = net.bounding_box().expanded(
+                2 * global_result.graph.tile_size
+            )
             clipped = box.intersection(self.chip.die) or self.chip.die
             corridors[name] = RoutingArea.from_boxes(
                 [(z, clipped) for z in self.chip.stack.indices]
             )
+        return corridors, detours
 
-        remaining = [
-            net for net in self.chip.nets if net.name not in prerouted
-        ]
-        detailed = DetailedRouter(
-            space,
-            corridors=corridors,
-            corridor_detours=detours,
-            threads=self.threads,
-        )
-        detailed_result = detailed.run(remaining)
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+    def run(self) -> FlowResult:
+        start = time.time()
+        result = FlowResult(self.chip)
+        report = result.failure_report
+        plan = build_track_plan(self.chip)
+        space = RoutingSpace(self.chip, track_plan=plan)
+        result.space = space
+
+        checkpoint = self._load_resume_checkpoint()
+        detailed_result: Optional[DetailedRoutingResult] = None
+        if checkpoint is not None:
+            # Resume: re-commit the checkpointed wiring and rebuild the
+            # global routing state instead of recomputing it.
+            report.resumed_from = str(checkpoint.get("stage"))
+            self._replay_routes(space, checkpoint)
+            tile_size = int(checkpoint["tile_size"])
+            graph = GlobalRoutingGraph(self.chip, tile_size)
+            global_data = checkpoint.get("global", {})
+            global_result = GlobalRoutingResult(self.chip, graph)
+            global_result.routes = global_routes_from_data(
+                global_data.get("routes", {})
+            )
+            global_result.local_nets = set(global_data.get("local_nets", ()))
+            prerouted = set(global_data.get("prerouted", ()))
+            result.global_result = global_result
+            if stage_reached(checkpoint, STAGE_DETAILED):
+                detailed_result = self._detailed_result_from_data(
+                    checkpoint.get("detailed") or {}
+                )
+        else:
+            prerouted, extra_obstacles = self._preroute(space, report)
+            global_result = self._run_global(plan, extra_obstacles, report)
+            result.global_result = global_result
+            self._save_checkpoint(
+                STAGE_GLOBAL,
+                space,
+                global_result.graph.tile_size,
+                global_result.routes,
+                global_result.local_nets,
+                prerouted,
+            )
+
+        if detailed_result is None:
+            corridors, detours = self._corridors_from_routes(global_result)
+            remaining = [
+                net for net in self.chip.nets if net.name not in prerouted
+            ]
+            detailed = DetailedRouter(
+                space,
+                corridors=corridors,
+                corridor_detours=detours,
+                threads=self.threads,
+                fault_injector=self.fault_injector,
+                net_deadline_s=self.net_timeout_s,
+                stage_budget_s=self.stage_budget_s,
+            )
+            detailed_result = detailed.run(remaining)
+            self._save_checkpoint(
+                STAGE_DETAILED,
+                space,
+                global_result.graph.tile_size,
+                global_result.routes,
+                global_result.local_nets,
+                prerouted,
+                detailed=self._detailed_summary_data(detailed_result),
+            )
         # Fold the prerouted nets into the reported coverage.
         detailed_result.routed |= prerouted
         detailed_result.wire_length = space.total_wire_length()
         detailed_result.via_count = space.total_via_count()
         result.detailed_result = detailed_result
         result.runtime_router = time.time() - start
+
+        # Aggregate the failure report.
+        for failure in detailed_result.failures.values():
+            report.record_failure(failure)
+        for name, rung in detailed_result.recovered.items():
+            report.record_recovery(name, rung)
+        report.retries += detailed_result.retries
+        report.escalations += detailed_result.escalations
+        if detailed_result.stage_budget_exhausted:
+            report.degraded_stages[STAGE_DETAILED] = (
+                "stage budget expired with nets still queued"
+            )
 
         if self.cleanup:
             cleaner = DrcCleanup(space)
@@ -164,5 +406,6 @@ class BonnRouteFlow:
             runtime_total=result.runtime_total,
             runtime_bonnroute=result.runtime_router,
             drc_report=drc,
+            failure_report=report,
         )
         return result

@@ -1,0 +1,187 @@
+"""Deterministic, seeded fault injection for the routing flow.
+
+Every recovery path of the resilience layer must be testable without
+waiting for a real failure, so the flow can be run with a
+:class:`FaultPlan` that makes chosen subsystems raise or stall on chosen
+nets.  Injection sites are checked at the natural isolation boundaries:
+
+* ``steiner_oracle`` — the per-net block oracle of the resource sharing
+  solver (:mod:`repro.groute.sharing`);
+* ``rounding``      — per-net randomized rounding
+  (:mod:`repro.groute.rounding`);
+* ``path_search``   — the detailed router's per-net path search
+  (:mod:`repro.droute.connect`);
+* ``pin_access``    — catalogue construction per pin
+  (:mod:`repro.droute.pinaccess`).
+
+Net selection is deterministic: explicit name lists, or a fraction of
+nets picked by a seeded stable hash, so the same plan + seed injects the
+same faults run after run.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Valid injection sites.
+FAULT_SITES = ("steiner_oracle", "rounding", "path_search", "pin_access")
+
+KIND_RAISE = "raise"
+KIND_STALL = "stall"
+
+
+class InjectedFault(Exception):
+    """Raised by the injector at a chosen site (a simulated crash)."""
+
+    def __init__(self, site: str, net: Optional[str]) -> None:
+        super().__init__(f"injected fault at {site} for net {net!r}")
+        self.site = site
+        self.net = net
+
+
+def _stable_fraction(seed: int, site: str, name: str) -> float:
+    """Deterministic pseudo-uniform value in [0, 1) for (seed, site, name)."""
+    digest = zlib.crc32(f"{seed}:{site}:{name}".encode("utf-8"))
+    return (digest & 0xFFFFFFFF) / 4294967296.0
+
+
+class FaultSpec:
+    """One injection rule.
+
+    ``nets`` selects explicit net names; ``fraction`` instead selects
+    that share of all nets by stable hash.  ``kind`` is ``"raise"`` or
+    ``"stall"`` (``stall_s`` busy time).  ``fires_per_net`` bounds how
+    often the fault fires per net (default 1: a *transient* fault that a
+    retry survives); ``None`` means it fires on every check (a
+    *persistent* fault that only a different engine or giving up
+    resolves).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        nets: Optional[Iterable[str]] = None,
+        fraction: Optional[float] = None,
+        kind: str = KIND_RAISE,
+        stall_s: float = 0.0,
+        fires_per_net: Optional[int] = 1,
+    ) -> None:
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; valid sites: {FAULT_SITES}"
+            )
+        if kind not in (KIND_RAISE, KIND_STALL):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if (nets is None) == (fraction is None):
+            raise ValueError("specify exactly one of nets= or fraction=")
+        self.site = site
+        self.nets = frozenset(nets) if nets is not None else None
+        self.fraction = fraction
+        self.kind = kind
+        self.stall_s = stall_s
+        self.fires_per_net = fires_per_net
+
+    def matches(self, seed: int, net: Optional[str]) -> bool:
+        if net is None:
+            return False
+        if self.nets is not None:
+            return net in self.nets
+        return _stable_fraction(seed, self.site, net) < float(self.fraction)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "nets": sorted(self.nets) if self.nets is not None else None,
+            "fraction": self.fraction,
+            "kind": self.kind,
+            "stall_s": self.stall_s,
+            "fires_per_net": self.fires_per_net,
+        }
+
+
+class FaultPlan:
+    """A seeded collection of :class:`FaultSpec` rules."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    @classmethod
+    def parse(cls, texts: Sequence[str], seed: int = 0) -> "FaultPlan":
+        """Parse CLI specs of the form ``site:fraction[:kind[:fires]]``.
+
+        Examples: ``path_search:0.1``, ``steiner_oracle:0.05:raise``,
+        ``path_search:0.1:stall:2``.  ``fires`` of ``inf`` makes the
+        fault persistent.
+        """
+        plan = cls(seed=seed)
+        for text in texts:
+            parts = text.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"bad fault spec {text!r}; expected site:fraction[:kind[:fires]]"
+                )
+            site = parts[0]
+            fraction = float(parts[1])
+            kind = parts[2] if len(parts) > 2 else KIND_RAISE
+            fires: Optional[int] = 1
+            if len(parts) > 3:
+                fires = None if parts[3] == "inf" else int(parts[3])
+            plan.add(
+                FaultSpec(site, fraction=fraction, kind=kind, fires_per_net=fires)
+            )
+        return plan
+
+    def injected_nets(self, site: str, net_names: Iterable[str]) -> List[str]:
+        """Which of ``net_names`` this plan will fault at ``site``."""
+        return [
+            name
+            for name in net_names
+            if any(
+                spec.site == site and spec.matches(self.seed, name)
+                for spec in self.specs
+            )
+        ]
+
+
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan`.
+
+    One injector is shared by all subsystems of a flow run; it counts
+    fires per (spec, net) so transient faults stop firing after their
+    budget, and records every fired event for assertions.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._fires: Dict[Tuple[int, str], int] = {}
+        #: Every fired event as (site, net, kind), in order.
+        self.fired: List[Tuple[str, Optional[str], str]] = []
+
+    def check(self, site: str, net: Optional[str] = None) -> None:
+        """Fire any matching fault: raise :class:`InjectedFault` or stall."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(self.plan.seed, net):
+                continue
+            key = (index, net or "")
+            count = self._fires.get(key, 0)
+            if spec.fires_per_net is not None and count >= spec.fires_per_net:
+                continue
+            self._fires[key] = count + 1
+            self.fired.append((site, net, spec.kind))
+            if spec.kind == KIND_STALL:
+                if spec.stall_s > 0.0:
+                    time.sleep(spec.stall_s)
+                continue
+            raise InjectedFault(site, net)
+
+    def fire_count(self, site: Optional[str] = None) -> int:
+        if site is None:
+            return len(self.fired)
+        return sum(1 for fired_site, _net, _kind in self.fired if fired_site == site)

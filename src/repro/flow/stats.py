@@ -61,6 +61,15 @@ class FlowMetrics:
         self.scenic_50 = 0
         self.errors = 0
         self.drc_report: Optional[DrcReport] = None
+        # Resilience columns (PR 1): structured failure/degradation data
+        # from the fault-tolerant runtime.
+        self.failed_nets: List[str] = []
+        self.failure_reasons: Dict[str, int] = {}
+        self.retries = 0
+        self.escalations = 0
+        self.recovered_nets: Dict[str, str] = {}
+        self.degraded_stages: Dict[str, str] = {}
+        self.resumed_from: Optional[str] = None
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -74,6 +83,13 @@ class FlowMetrics:
             "scenic_25": self.scenic_25,
             "scenic_50": self.scenic_50,
             "errors": self.errors,
+            "failed_nets": list(self.failed_nets),
+            "failure_reasons": dict(self.failure_reasons),
+            "retries": self.retries,
+            "escalations": self.escalations,
+            "recovered_nets": dict(self.recovered_nets),
+            "degraded_stages": dict(self.degraded_stages),
+            "resumed_from": self.resumed_from,
         }
 
 
@@ -88,6 +104,7 @@ def collect_metrics(
     runtime_total: float,
     runtime_bonnroute: float = 0.0,
     drc_report: Optional[DrcReport] = None,
+    failure_report=None,
 ) -> FlowMetrics:
     metrics = FlowMetrics()
     metrics.chip_name = space.chip.name
@@ -103,4 +120,12 @@ def collect_metrics(
         drc_report = DrcChecker(space).run()
     metrics.drc_report = drc_report
     metrics.errors = drc_report.error_count
+    if failure_report is not None:
+        metrics.failed_nets = sorted(failure_report.net_failures)
+        metrics.failure_reasons = failure_report.reasons_histogram()
+        metrics.retries = failure_report.retries
+        metrics.escalations = failure_report.escalations
+        metrics.recovered_nets = dict(failure_report.recovered_nets)
+        metrics.degraded_stages = dict(failure_report.degraded_stages)
+        metrics.resumed_from = failure_report.resumed_from
     return metrics

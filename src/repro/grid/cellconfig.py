@@ -6,11 +6,17 @@ configuration* is typically identical in a large number of cells, cells
 hold only a *configuration number* indexing a lookup table with the actual
 data.  Configuration number 0 is the empty configuration and is never
 stored explicitly.
+
+A configuration is a true **multiset**: identical clipped shapes (same
+geometry *and* metadata) are reference-counted, so adding the same shape
+twice and removing it once leaves one copy behind.  Internally a
+configuration is a frozenset of ``(CellShape, count)`` pairs with
+``count >= 1``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, NamedTuple, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, NamedTuple, Tuple
 
 
 class CellShape(NamedTuple):
@@ -34,9 +40,24 @@ class CellShape(NamedTuple):
     rule_width: int
 
 
-Config = FrozenSet[CellShape]
+#: A cell configuration: reference-counted shapes as (shape, count) pairs.
+Config = FrozenSet[Tuple[CellShape, int]]
 
 EMPTY_CONFIG_ID = 0
+
+
+def _normalize(config: Iterable) -> Config:
+    """Accept bare CellShapes or (shape, count) pairs; merge duplicates."""
+    counts: Dict[CellShape, int] = {}
+    for item in config:
+        if isinstance(item, CellShape):
+            shape, count = item, 1
+        else:
+            shape, count = item
+        if count <= 0:
+            raise ValueError(f"non-positive count {count} for {shape}")
+        counts[shape] = counts.get(shape, 0) + count
+    return frozenset(counts.items())
 
 
 class ConfigTable:
@@ -49,26 +70,46 @@ class ConfigTable:
     def __len__(self) -> int:
         return len(self._by_id)
 
-    def intern(self, config: Config) -> int:
-        config_id = self._by_config.get(config)
+    def intern(self, config: Iterable) -> int:
+        """Intern a configuration given as shapes or (shape, count) pairs."""
+        normalized = _normalize(config)
+        config_id = self._by_config.get(normalized)
         if config_id is None:
             config_id = len(self._by_id)
-            self._by_config[config] = config_id
-            self._by_id.append(config)
+            self._by_config[normalized] = config_id
+            self._by_id.append(normalized)
         return config_id
 
     def lookup(self, config_id: int) -> Config:
+        """The stored (shape, count) pairs of ``config_id``."""
         return self._by_id[config_id]
 
+    def shapes(self, config_id: int) -> Iterator[CellShape]:
+        """The distinct shapes of ``config_id`` (counts ignored)."""
+        for shape, _count in self._by_id[config_id]:
+            yield shape
+
+    def count(self, config_id: int, shape: CellShape) -> int:
+        """Reference count of ``shape`` in ``config_id`` (0 if absent)."""
+        for stored, stored_count in self._by_id[config_id]:
+            if stored == shape:
+                return stored_count
+        return 0
+
     def with_shape(self, config_id: int, shape: CellShape) -> int:
-        """Configuration id after adding ``shape`` to ``config_id``."""
-        config = self._by_id[config_id]
-        if shape in config:
-            return config_id
-        return self.intern(config | {shape})
+        """Configuration id after adding one copy of ``shape``."""
+        counts = dict(self._by_id[config_id])
+        counts[shape] = counts.get(shape, 0) + 1
+        return self.intern(counts.items())
 
     def without_shape(self, config_id: int, shape: CellShape) -> int:
-        config = self._by_id[config_id]
-        if shape not in config:
+        """Configuration id after removing one copy of ``shape``."""
+        counts = dict(self._by_id[config_id])
+        if shape not in counts:
             return config_id
-        return self.intern(config - {shape})
+        counts[shape] -= 1
+        if counts[shape] == 0:
+            del counts[shape]
+        if not counts:
+            return EMPTY_CONFIG_ID
+        return self.intern(counts.items())

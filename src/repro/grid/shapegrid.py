@@ -6,7 +6,8 @@ cannot legally share a cell.  Per cell it stores a configuration number
 into a lookup table (:mod:`repro.grid.cellconfig`); runs of identical
 configuration numbers in preferred direction are merged into intervals
 kept in an AVL tree per row (or column) of cells.  Empty intervals are not
-stored.
+stored.  Cell contents are reference-counted multisets: adding the same
+shape twice requires removing it twice (see :mod:`repro.grid.cellconfig`).
 
 This is the ground truth for diff-net rule checking: given a region, it
 returns every stored shape piece with its net, shape class, kind and ripup
@@ -249,7 +250,7 @@ class _LayerGrid:
             for start, (end, config_id) in row.items(lo=start_key, hi=col_hi):
                 for col in range(max(start, col_lo), min(end, col_hi) + 1):
                     ax, ay = self._cell_anchor(row_index, col)
-                    for shape in self.table.lookup(config_id):
+                    for shape in self.table.shapes(config_id):
                         absolute = Rect(
                             shape.x_lo + ax,
                             shape.y_lo + ay,
@@ -309,7 +310,11 @@ class ShapeGrid:
         try:
             return self._grids[(kind, layer)]
         except KeyError:
-            raise KeyError(f"no shape grid for {kind} layer {layer}") from None
+            available = sorted(self._grids)
+            raise KeyError(
+                f"no shape grid for {kind} layer {layer}; "
+                f"grids exist for {available}"
+            ) from None
 
     def add_shape(
         self,
@@ -365,9 +370,9 @@ class ShapeGrid:
         for config in grid.table._by_id[1:]:
             stripped.add(
                 frozenset(
-                    (s.x_lo, s.y_lo, s.x_hi, s.y_hi, s.class_name,
-                     s.shape_kind, s.ripup_level, s.rule_width)
-                    for s in config
+                    ((s.x_lo, s.y_lo, s.x_hi, s.y_hi, s.class_name,
+                      s.shape_kind, s.ripup_level, s.rule_width), count)
+                    for s, count in config
                 )
             )
         return len(stripped)

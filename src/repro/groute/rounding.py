@@ -31,6 +31,9 @@ class RoundingStats:
         self.fresh_reroutes = 0
         self.initial_violations = 0
         self.final_violations = 0
+        #: Faults absorbed during rounding; the affected nets fell back
+        #: to their best-weight fractional solution deterministically.
+        self.rounding_faults = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -38,6 +41,7 @@ class RoundingStats:
             "fresh_reroutes": self.fresh_reroutes,
             "initial_violations": self.initial_violations,
             "final_violations": self.final_violations,
+            "rounding_faults": self.rounding_faults,
         }
 
 
@@ -54,11 +58,15 @@ class RoundingPostprocessor:
         graph: GlobalRoutingGraph,
         model: ResourceModel,
         seed: Optional[int] = None,
+        fault_injector=None,
     ) -> None:
         self.graph = graph
         self.model = model
         self.rng = make_rng(seed)
         self.stats = RoundingStats()
+        #: Optional :class:`repro.flow.faults.FaultInjector` probed at the
+        #: "rounding" site per net.
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     # Edge loads
@@ -91,6 +99,15 @@ class RoundingPostprocessor:
             keys = list(weights)
             probabilities = [weights[key] for key in keys]
             index = weighted_choice(self.rng, probabilities)
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.check("rounding", net=net_name)
+            except Exception:  # noqa: BLE001 - per-net isolation
+                # Deterministic degraded mode: skip the random draw and
+                # take the heaviest-weight solution (the RNG was already
+                # advanced above, so the other nets' draws are unchanged).
+                self.stats.rounding_faults += 1
+                index = max(range(len(keys)), key=lambda i: probabilities[i])
             routes[net_name] = _route_from_key(net_name, keys[index])
         return routes
 

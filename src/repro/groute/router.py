@@ -122,6 +122,7 @@ class GlobalRouter:
         stacked_via_reduction: bool = True,
         capacity_scale: float = 1.0,
         extra_obstacles=None,
+        fault_injector=None,
     ) -> None:
         self.chip = chip
         self.graph = GlobalRoutingGraph(chip, tile_size)
@@ -144,8 +145,11 @@ class GlobalRouter:
         self.phases = phases
         self.epsilon = epsilon
         self.seed = seed
+        self.fault_injector = fault_injector
 
-    def run(self, nets: Optional[Sequence[Net]] = None) -> GlobalRoutingResult:
+    def run(
+        self, nets: Optional[Sequence[Net]] = None, deadline=None
+    ) -> GlobalRoutingResult:
         start = time.time()
         if nets is None:
             nets = self.chip.nets
@@ -159,14 +163,18 @@ class GlobalRouter:
             else:
                 routable.append(net)
         solver = ResourceSharingSolver(
-            self.graph, self.model, phases=self.phases, epsilon=self.epsilon
+            self.graph, self.model, phases=self.phases, epsilon=self.epsilon,
+            fault_injector=self.fault_injector,
         )
         sharing_start = time.time()
-        fractional = solver.solve(routable)
+        fractional = solver.solve(routable, deadline=deadline)
         result.sharing_runtime = time.time() - sharing_start
         result.fractional = fractional
         rounding_start = time.time()
-        postprocessor = RoundingPostprocessor(self.graph, self.model, self.seed)
+        postprocessor = RoundingPostprocessor(
+            self.graph, self.model, self.seed,
+            fault_injector=self.fault_injector,
+        )
         routes = postprocessor.round(fractional)
         routes = postprocessor.repair(routes, fractional, routable)
         result.rounding_runtime = time.time() - rounding_start

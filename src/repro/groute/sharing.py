@@ -52,6 +52,12 @@ class FractionalSolution:
         self.oracle_reuses = 0
         self.oracle_time = 0.0
         self.max_congestion = 0.0
+        #: Oracle invocations that raised and were absorbed (the net
+        #: simply gets no solution this phase).
+        self.oracle_faults = 0
+        #: Set when a stage deadline cut the phase loop short; the
+        #: averaged solution over the phases run so far is still valid.
+        self.deadline_hit = False
 
     def support(self, net_name: str) -> List[Tuple[SolutionKey, float]]:
         return sorted(
@@ -72,11 +78,15 @@ class ResourceSharingSolver:
         potential_scale: float = 0.0,
         use_landmarks: bool = False,
         landmark_count: int = 4,
+        fault_injector=None,
     ) -> None:
         self.graph = graph
         self.model = model
         self.phases = phases
         self.epsilon = epsilon
+        #: Optional :class:`repro.flow.faults.FaultInjector` probed at the
+        #: "steiner_oracle" site before each oracle call.
+        self.fault_injector = fault_injector
         #: Reuse the previous solution while its current-price cost is
         #: below reuse_threshold x its cost when it was computed.
         self.reuse_threshold = reuse_threshold
@@ -169,7 +179,7 @@ class ResourceSharingSolver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, nets: Sequence[Net]) -> FractionalSolution:
+    def solve(self, nets: Sequence[Net], deadline=None) -> FractionalSolution:
         solution = FractionalSolution()
         counts: Dict[str, Dict[SolutionKey, int]] = {net.name: {} for net in nets}
         terminals = {
@@ -177,6 +187,11 @@ class ResourceSharingSolver:
         }
         previous: Dict[str, Tuple[SolutionKey, float]] = {}
         for _phase in range(self.phases):
+            if deadline is not None and deadline.expired:
+                # Degrade gracefully: average over the phases completed
+                # so far instead of aborting the stage.
+                solution.deadline_hit = True
+                break
             solution.phases_run += 1
             for net in nets:
                 key = None
@@ -189,14 +204,25 @@ class ResourceSharingSolver:
                         solution.oracle_reuses += 1
                 if key is None:
                     start = time.time()
-                    result = path_composition_steiner_tree(
-                        self.graph,
-                        net.name,
-                        terminals[net.name],
-                        self._edge_cost_fn(),
-                        self.potential_scale,
-                        potential_factory=self._potential_factory(),
-                    )
+                    try:
+                        if self.fault_injector is not None:
+                            self.fault_injector.check(
+                                "steiner_oracle", net=net.name
+                            )
+                        result = path_composition_steiner_tree(
+                            self.graph,
+                            net.name,
+                            terminals[net.name],
+                            self._edge_cost_fn(),
+                            self.potential_scale,
+                            potential_factory=self._potential_factory(),
+                        )
+                    except Exception:  # noqa: BLE001 - per-net isolation
+                        # A faulting oracle costs the net one phase; the
+                        # remaining phases (and its cached solution, if
+                        # any) still contribute to the average.
+                        solution.oracle_faults += 1
+                        result = None
                     solution.oracle_time += time.time() - start
                     solution.oracle_calls += 1
                     if result is None:

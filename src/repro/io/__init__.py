@@ -6,6 +6,14 @@ outside Python; this package provides a small line-oriented text format
 losslessly.
 """
 
+from repro.io.checkpoint import (
+    CheckpointError,
+    build_checkpoint,
+    checkpoint_routes,
+    load_checkpoint,
+    save_checkpoint,
+    stage_reached,
+)
 from repro.io.textformat import (
     dump_chip,
     load_chip,
@@ -26,4 +34,10 @@ __all__ = [
     "read_chip_file",
     "write_routes_file",
     "read_routes_file",
+    "CheckpointError",
+    "build_checkpoint",
+    "checkpoint_routes",
+    "load_checkpoint",
+    "save_checkpoint",
+    "stage_reached",
 ]

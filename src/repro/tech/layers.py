@@ -88,7 +88,12 @@ class LayerStack:
         try:
             return self._layers[index]
         except KeyError:
-            raise KeyError(f"no wiring layer {index}") from None
+            names = ", ".join(
+                f"{i} ({self._layers[i].name})" for i in self._indices
+            )
+            raise KeyError(
+                f"no wiring layer {index}; stack has layers {names}"
+            ) from None
 
     @property
     def bottom(self) -> int:

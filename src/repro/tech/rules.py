@@ -125,13 +125,21 @@ class RuleSet:
         try:
             return self.spacing_rules[layer]
         except KeyError:
-            raise KeyError(f"no spacing rule for layer {layer}") from None
+            available = sorted(self.spacing_rules)
+            raise KeyError(
+                f"no spacing rule for layer {layer}; "
+                f"rules exist for layers {available}"
+            ) from None
 
     def same_net_rules(self, layer: int) -> SameNetRules:
         try:
             return self.same_net[layer]
         except KeyError:
-            raise KeyError(f"no same-net rules for layer {layer}") from None
+            available = sorted(self.same_net)
+            raise KeyError(
+                f"no same-net rules for layer {layer}; "
+                f"rules exist for layers {available}"
+            ) from None
 
     def via_rule(self, via_layer: int) -> Optional[ViaRule]:
         return self.via_rules.get(via_layer)

@@ -59,9 +59,9 @@ class TestShapeGridMultiset:
         live_areas = {}
         for rect, net in live:
             live_areas[net] = live_areas.get(net, 0) + rect.area
-        # NOTE: overlapping identical-metadata shapes merge in the cell
-        # content (frozenset semantics), so compare covered area per net
-        # through the union.
+        # Identical-metadata shapes are reference-counted in the cells
+        # (multiset semantics), but queries report each distinct piece
+        # once, so compare covered area per net through the union.
         from repro.geometry.polygon import rectilinear_area
 
         for net in ("a", "b", "c"):
@@ -69,14 +69,23 @@ class TestShapeGridMultiset:
             got = rectilinear_area([e.rect for e in found if e.net == net])
             assert got == expected, f"net {net}: {got} != {expected}"
 
-    def test_duplicate_add_remove_is_idempotent(self):
-        """Identical shapes collapse in a cell's set semantics: adding the
-        same rect twice and removing it once leaves nothing (documented
-        frozenset behaviour of the configuration table)."""
+    def test_duplicate_add_remove_is_refcounted(self):
+        """Identical shapes are reference-counted (documented multiset
+        behaviour of the configuration table): adding the same rect twice
+        and removing it once leaves one copy; removing it again leaves
+        nothing."""
         grid = ShapeGrid(Rect(0, 0, 2000, 2000), example_stack(4))
         rect = Rect(100, 100, 300, 140)
         grid.add_shape("wiring", 1, rect, "n", "c", ShapeKind.WIRE, 3, 40)
         grid.add_shape("wiring", 1, rect, "n", "c", ShapeKind.WIRE, 3, 40)
+        grid.remove_shape("wiring", 1, rect, "n", "c", ShapeKind.WIRE, 3, 40)
+        remaining = grid.query("wiring", 1, Rect(0, 0, 2000, 2000))
+        # One copy survives: its clipped pieces union back to the rect.
+        from repro.geometry.polygon import rectilinear_area
+
+        assert remaining
+        assert Rect.bounding([e.rect for e in remaining]) == rect
+        assert rectilinear_area([e.rect for e in remaining]) == rect.area
         grid.remove_shape("wiring", 1, rect, "n", "c", ShapeKind.WIRE, 3, 40)
         assert grid.query("wiring", 1, Rect(0, 0, 2000, 2000)) == []
 

@@ -43,15 +43,24 @@ class TestConfigTable:
         table = ConfigTable()
         shape = CellShape(0, 0, 10, 10, "n", "c", "wire", 3, 40)
         cfg = table.with_shape(EMPTY_CONFIG_ID, shape)
-        assert shape in table.lookup(cfg)
+        assert shape in set(table.shapes(cfg))
+        assert table.count(cfg, shape) == 1
         back = table.without_shape(cfg, shape)
         assert back == EMPTY_CONFIG_ID
 
-    def test_with_shape_idempotent(self):
+    def test_with_shape_reference_counts(self):
+        """Duplicate adds are counted: a multiset, not a set."""
         table = ConfigTable()
         shape = CellShape(0, 0, 10, 10, "n", "c", "wire", 3, 40)
-        cfg = table.with_shape(EMPTY_CONFIG_ID, shape)
-        assert table.with_shape(cfg, shape) == cfg
+        once = table.with_shape(EMPTY_CONFIG_ID, shape)
+        twice = table.with_shape(once, shape)
+        assert twice != once
+        assert table.count(twice, shape) == 2
+        # Distinct shapes are listed once regardless of count.
+        assert list(table.shapes(twice)) == [shape]
+        # One removal per addition restores the intermediate states.
+        assert table.without_shape(twice, shape) == once
+        assert table.without_shape(once, shape) == EMPTY_CONFIG_ID
 
 
 class TestShapeGridBasics:
