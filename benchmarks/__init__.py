@@ -1,0 +1,5 @@
+"""pytest-benchmark suite reproducing the paper's tables and figures.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -s``;
+see EXPERIMENTS.md for the mapping from bench modules to paper exhibits.
+"""

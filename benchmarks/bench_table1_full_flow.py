@@ -10,7 +10,15 @@ Paper (sums over 8 chips, 2.76M nets): BR+ISR vs ISR achieved
 
 This bench regenerates the same row structure on the scaled-down chips;
 the *ratios* (who wins, roughly by how much) are the reproduction target.
+
+Set ``REPRO_BENCH_OBS=1`` to run the BR+ISR flow with the observability
+layer enabled: the internal counters (docs/OBSERVABILITY.md) are then
+recorded in each benchmark's ``extra_info["br"]["obs"]`` section
+alongside the paper columns.  Off by default so the timed runs measure
+the disabled-mode (single boolean check) overhead only.
 """
+
+import os
 
 import pytest
 
@@ -18,12 +26,25 @@ from benchmarks.common import bench_specs, print_table
 from repro.chip.generator import generate_chip
 from repro.flow.bonnroute import BonnRouteFlow
 from repro.flow.isr_flow import IsrFlow
+from repro.obs import OBS
 
 _RESULTS = {}
 
+_BENCH_OBS = bool(os.environ.get("REPRO_BENCH_OBS"))
+
 
 def _run_chip(spec):
-    br = BonnRouteFlow(generate_chip(spec), gr_phases=10, seed=1).run()
+    if _BENCH_OBS:
+        # Fresh registry per chip so counters do not bleed across rows;
+        # BonnRouteFlow.run() snapshots the summary into metrics.obs.
+        OBS.reset()
+        OBS.configure(enabled=True)
+    try:
+        br = BonnRouteFlow(generate_chip(spec), gr_phases=10, seed=1).run()
+    finally:
+        if _BENCH_OBS:
+            OBS.reset()
+            OBS.enabled = False
     isr = IsrFlow(generate_chip(spec)).run()
     return br.metrics, isr.metrics
 

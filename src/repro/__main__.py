@@ -7,6 +7,12 @@ Commands:
   file and write the routes;
 * ``drc`` — check a routed chip and print the violation summary;
 * ``render`` — ASCII-render one layer of a routed chip.
+
+Observability (docs/OBSERVABILITY.md): ``route --obs`` prints the
+end-of-run span/counter summary, ``--trace-out PATH`` additionally
+streams the JSONL trace (validate with ``python -m repro.obs``),
+and ``--heatmap-out PATH`` exports the global-routing congestion
+heatmap.
 """
 
 from __future__ import annotations
@@ -35,7 +41,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.obs import OBS, JsonlTraceSink
+
     chip = read_chip_file(args.chip)
+    if args.trace_out or args.obs:
+        sink = None
+        if args.trace_out:
+            sink = JsonlTraceSink(
+                args.trace_out,
+                meta={"chip": chip.name, "flow": args.flow, "seed": args.seed},
+            )
+        OBS.configure(enabled=True, sink=sink)
     if args.flow == "bonnroute":
         from repro.flow.bonnroute import BonnRouteFlow
         from repro.flow.faults import FaultPlan
@@ -78,6 +94,23 @@ def _cmd_route(args: argparse.Namespace) -> int:
         print("--- failure report ---")
         for key, value in report.as_dict().items():
             print(f"{key:13}: {value}")
+    if OBS.enabled:
+        OBS.close()
+        print("--- observability summary ---")
+        print(OBS.summary_table())
+        if args.trace_out:
+            print(f"trace written to {args.trace_out}")
+    if args.heatmap_out:
+        from repro.obs import write_congestion_heatmap
+
+        heatmap = write_congestion_heatmap(
+            result.global_result, args.heatmap_out
+        )
+        print(
+            f"congestion heatmap ({len(heatmap['edges'])} used edges, "
+            f"max utilization {heatmap['max_utilization']:.2f}) "
+            f"written to {args.heatmap_out}"
+        )
     print(f"routes written to {args.output}")
     return 0 if result.detailed_result.failed == set() else 1
 
@@ -161,6 +194,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection, e.g. "
         "'path_search:0.1' or 'steiner_oracle:0.05:raise:inf' "
         "(site:fraction[:kind[:fires]]); repeatable",
+    )
+    route.add_argument(
+        "--obs", action="store_true",
+        help="enable observability and print the end-of-run "
+        "span/counter summary (docs/OBSERVABILITY.md)",
+    )
+    route.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable observability and stream the JSONL trace to PATH "
+        "(validate: python -m repro.obs PATH)",
+    )
+    route.add_argument(
+        "--heatmap-out", default=None, metavar="PATH",
+        help="export the global-routing congestion heatmap "
+        "(edge usage/capacity/utilization JSON) to PATH",
     )
     route.set_defaults(func=_cmd_route)
 

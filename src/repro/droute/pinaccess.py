@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.chip.net import Pin
 from repro.droute.route import ViaInstance
 from repro.droute.space import RoutingSpace
+from repro.obs import OBS
 from repro.geometry.l1 import rect_l2_gap, run_length
 from repro.geometry.rect import Rect
 from repro.grid.blockgrid import BlockageGrid
@@ -167,6 +168,8 @@ class PinAccessPlanner:
         self, pin: Pin, radius_pitches: Optional[int] = None
     ) -> List[AccessPath]:
         """DRC-clean tau-feasible access paths for one pin."""
+        if OBS.enabled:
+            OBS.count("pinaccess.catalogues_built")
         if self.fault_injector is not None:
             net_name = pin.net.name if pin.net is not None else None
             self.fault_injector.check("pin_access", net=net_name)
@@ -339,6 +342,8 @@ class PinAccessPlanner:
         cached = self._class_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            if OBS.enabled:
+                OBS.count("pinaccess.catalogue_hits")
             # Translate the cached relative solution to this instance.
             out: Dict[str, List[AccessPath]] = {}
             by_template_pin: Dict[str, Pin] = {
@@ -354,6 +359,8 @@ class PinAccessPlanner:
                 out[pin.name] = [p for p in out[pin.name] if p is not None]
             return out
         self.cache_misses += 1
+        if OBS.enabled:
+            OBS.count("pinaccess.catalogue_misses")
         catalogues: Dict[str, List[AccessPath]] = {}
         relative: Dict[str, List[AccessPath]] = {}
         for pin in pins:
@@ -509,6 +516,8 @@ class PinAccessPlanner:
     # Reservation (Sec. 4.3: add primary paths before routing starts)
     # ------------------------------------------------------------------
     def reserve(self, path: AccessPath) -> None:
+        if OBS.enabled:
+            OBS.count("pinaccess.paths_reserved")
         for stick in path.sticks():
             self.space.add_wire(
                 path.net_name,

@@ -43,6 +43,7 @@ from repro.flow.resilience import (
     REASON_UNROUTABLE,
     escalation_ladder,
 )
+from repro.obs import OBS
 
 #: Stage label used in :class:`NetFailure` records from this router.
 STAGE_NAME = "detailed"
@@ -252,7 +253,8 @@ class DetailedRouter:
             Deadline(self.stage_budget_s) if self.stage_budget_s is not None else None
         )
         if self.enable_pin_access:
-            self.preprocess_pin_access(nets)
+            with OBS.trace("droute.pin_access", nets=len(nets)):
+                self.preprocess_pin_access(nets)
         queue: List[Tuple[Net, int]] = [(net, 0) for net in self._order_nets(nets)]
         nets_by_name = {net.name: net for net in nets}
         attempt_counts: Dict[str, int] = {}
@@ -274,6 +276,15 @@ class DetailedRouter:
                 error=last_error.get(net.name),
                 open_connections=open_connections,
             )
+            if OBS.enabled:
+                OBS.count("droute.nets_failed")
+                OBS.event(
+                    "resilience.net_failure",
+                    net=net.name,
+                    reason=reason,
+                    attempts=attempt_counts.get(net.name, 0),
+                    opens=open_connections,
+                )
 
         while queue:
             if stage_deadline is not None and stage_deadline.expired:
@@ -298,8 +309,21 @@ class DetailedRouter:
                 result.retries += 1
                 self.retry_policy.backoff(attempt)
             rung = self._rung_for(attempt)
-            if attempt >= len(self.ladder) - 2 and rung.name != "baseline":
+            escalated = attempt >= len(self.ladder) - 2 and rung.name != "baseline"
+            if escalated:
                 result.escalations += 1
+            if OBS.enabled:
+                if attempt > 0:
+                    OBS.count("droute.retries")
+                    OBS.event(
+                        "resilience.retry",
+                        net=net.name, attempt=attempt, rung=rung.name,
+                    )
+                if escalated:
+                    OBS.count("droute.escalations")
+                    OBS.event(
+                        "resilience.escalation", net=net.name, rung=rung.name
+                    )
             rungs_tried.setdefault(net.name, [])
             if not rungs_tried[net.name] or rungs_tried[net.name][-1] != rung.name:
                 rungs_tried[net.name].append(rung.name)
@@ -313,14 +337,17 @@ class DetailedRouter:
             failure_reason: Optional[str] = None
             connection = None
             try:
-                connection = connector.connect_net(
-                    net,
-                    area,
-                    max_ripup_level=rung.ripup_level,
-                    corridor_detour=detour,
-                    deadline=deadline,
-                    force_off_track_access=rung.force_off_track_access,
-                )
+                with OBS.trace(
+                    "droute.net", net=net.name, attempt=attempt, rung=rung.name
+                ):
+                    connection = connector.connect_net(
+                        net,
+                        area,
+                        max_ripup_level=rung.ripup_level,
+                        corridor_detour=detour,
+                        deadline=deadline,
+                        force_off_track_access=rung.force_off_track_access,
+                    )
             except Exception as error:  # noqa: BLE001 - isolation boundary
                 # Per-net isolation: an injected or genuine fault in the
                 # search machinery costs one attempt, not the chip.
@@ -330,6 +357,10 @@ class DetailedRouter:
                 result.stats.merge(connection.stats)
                 if connection.ripped_nets:
                     result.ripup_events += len(connection.ripped_nets)
+                    if OBS.enabled:
+                        OBS.count(
+                            "droute.ripup_events", len(connection.ripped_nets)
+                        )
                     for ripped_name in connection.ripped_nets:
                         ripped_net = nets_by_name.get(ripped_name)
                         if ripped_net is None:
@@ -345,8 +376,15 @@ class DetailedRouter:
                     result.routed.add(net.name)
                     result.failed.discard(net.name)
                     result.failures.pop(net.name, None)
+                    if OBS.enabled:
+                        OBS.count("droute.nets_routed")
                     if attempt > 0:
                         result.recovered[net.name] = rung.name
+                        if OBS.enabled:
+                            OBS.event(
+                                "resilience.recovery",
+                                net=net.name, rung=rung.name,
+                            )
                     continue
                 else:
                     failure_reason = REASON_UNROUTABLE

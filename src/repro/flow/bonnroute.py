@@ -38,6 +38,7 @@ from repro.flow.stats import FlowMetrics, collect_metrics
 from repro.grid.tracks import build_track_plan
 from repro.groute.graph import GlobalRoutingGraph
 from repro.groute.router import GlobalRouter, GlobalRoutingResult
+from repro.obs import OBS
 from repro.io.checkpoint import (
     STAGE_DETAILED,
     STAGE_GLOBAL,
@@ -265,6 +266,12 @@ class BonnRouteFlow:
                 f"global routing failed ({type(error).__name__}: {error}); "
                 "detailed routing runs without corridors"
             )
+            if OBS.enabled:
+                OBS.event(
+                    "resilience.stage_degraded",
+                    stage=STAGE_GLOBAL,
+                    error=f"{type(error).__name__}: {error}",
+                )
             graph = GlobalRoutingGraph(self.chip, self.gr_tile_size)
             fallback = GlobalRoutingResult(self.chip, graph)
             for net in self.chip.nets:
@@ -308,6 +315,20 @@ class BonnRouteFlow:
     # Main entry
     # ------------------------------------------------------------------
     def run(self) -> FlowResult:
+        """Run the full flow; see :meth:`_run_impl` for the stages.
+
+        The wrapper exists so the ``flow.run`` span covers the whole run
+        and its total still lands in ``result.metrics.obs``.
+        """
+        with OBS.trace(
+            "flow.run", chip=self.chip.name, nets=len(self.chip.nets)
+        ):
+            result = self._run_impl()
+        if OBS.enabled and result.metrics is not None:
+            result.metrics.obs = OBS.summary()
+        return result
+
+    def _run_impl(self) -> FlowResult:
         start = time.time()
         result = FlowResult(self.chip)
         report = result.failure_report
@@ -337,8 +358,10 @@ class BonnRouteFlow:
                     checkpoint.get("detailed") or {}
                 )
         else:
-            prerouted, extra_obstacles = self._preroute(space, report)
-            global_result = self._run_global(plan, extra_obstacles, report)
+            with OBS.trace("flow.preroute"):
+                prerouted, extra_obstacles = self._preroute(space, report)
+            with OBS.trace("flow.global"):
+                global_result = self._run_global(plan, extra_obstacles, report)
             result.global_result = global_result
             self._save_checkpoint(
                 STAGE_GLOBAL,
@@ -363,7 +386,8 @@ class BonnRouteFlow:
                 net_deadline_s=self.net_timeout_s,
                 stage_budget_s=self.stage_budget_s,
             )
-            detailed_result = detailed.run(remaining)
+            with OBS.trace("flow.detailed", nets=len(remaining)):
+                detailed_result = detailed.run(remaining)
             self._save_checkpoint(
                 STAGE_DETAILED,
                 space,
@@ -391,10 +415,17 @@ class BonnRouteFlow:
             report.degraded_stages[STAGE_DETAILED] = (
                 "stage budget expired with nets still queued"
             )
+            if OBS.enabled:
+                OBS.event(
+                    "resilience.stage_degraded",
+                    stage=STAGE_DETAILED,
+                    error="stage budget expired with nets still queued",
+                )
 
         if self.cleanup:
             cleaner = DrcCleanup(space)
-            result.cleanup_report = cleaner.run()
+            with OBS.trace("flow.cleanup"):
+                result.cleanup_report = cleaner.run()
         result.runtime_total = time.time() - start
         drc = (
             result.cleanup_report.final_report

@@ -19,6 +19,7 @@ from repro.droute.space import RoutingSpace
 from repro.flow.bonnroute import FlowResult
 from repro.flow.stats import collect_metrics
 from repro.grid.tracks import build_track_plan
+from repro.obs import OBS
 
 
 class IsrFlow:
@@ -37,6 +38,17 @@ class IsrFlow:
         self.corridor_margin_tiles = corridor_margin_tiles
 
     def run(self) -> FlowResult:
+        """Run the baseline flow (same span/obs shape as BonnRouteFlow)."""
+        with OBS.trace(
+            "flow.run", chip=self.chip.name, nets=len(self.chip.nets),
+            flow="isr",
+        ):
+            result = self._run_impl()
+        if OBS.enabled and result.metrics is not None:
+            result.metrics.obs = OBS.summary()
+        return result
+
+    def _run_impl(self) -> FlowResult:
         start = time.time()
         result = FlowResult(self.chip)
         plan = build_track_plan(self.chip)
@@ -44,7 +56,8 @@ class IsrFlow:
         result.space = space
 
         global_router = IsrGlobalRouter(self.chip)
-        global_result = global_router.run()
+        with OBS.trace("flow.global"):
+            global_result = global_router.run()
         result.global_result = global_result
 
         corridors: Dict[str, RoutingArea] = {}
@@ -72,13 +85,15 @@ class IsrFlow:
         detailed = IsrDetailedRouter(
             space, corridors=corridors, threads=self.threads
         )
-        detailed_result = detailed.run()
+        with OBS.trace("flow.detailed"):
+            detailed_result = detailed.run()
         result.detailed_result = detailed_result
         result.runtime_router = time.time() - start
 
         if self.cleanup:
             cleaner = DrcCleanup(space)
-            result.cleanup_report = cleaner.run()
+            with OBS.trace("flow.cleanup"):
+                result.cleanup_report = cleaner.run()
         result.runtime_total = time.time() - start
         drc = (
             result.cleanup_report.final_report

@@ -28,6 +28,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.grid.shapegrid import RipupLevel
+from repro.obs import OBS
 from repro.util.rng import make_rng
 
 
@@ -78,6 +79,13 @@ class Deadline:
 
     def check(self) -> None:
         if self.expired:
+            if OBS.enabled:
+                OBS.count("resilience.deadlines_expired")
+                OBS.event(
+                    "resilience.deadline_expired",
+                    budget_s=self.budget_s,
+                    elapsed_s=self.elapsed,
+                )
             raise DeadlineExceeded(
                 f"deadline of {self.budget_s:.3f}s expired "
                 f"({self.elapsed:.3f}s elapsed)"
@@ -141,6 +149,8 @@ class NetRetryPolicy:
         """Sleep (if configured) before retry ``attempt``; returns the delay."""
         delay = self.delay_for(attempt)
         self.applied_delays.append(delay)
+        if OBS.enabled:
+            OBS.event("resilience.backoff", attempt=attempt, delay_s=delay)
         if delay > 0.0:
             self._sleep(delay)
         return delay

@@ -70,9 +70,21 @@ class FlowMetrics:
         self.recovered_nets: Dict[str, str] = {}
         self.degraded_stages: Dict[str, str] = {}
         self.resumed_from: Optional[str] = None
+        # Observability section (ISSUE 2): the end-of-run aggregate of
+        # the ``repro.obs`` registry (counters / gauges / histograms /
+        # span totals) when observability was enabled for the run, so
+        # Table I benchmarks can record internal counters alongside the
+        # paper columns.  Empty when disabled.
+        self.obs: Dict[str, object] = {}
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
+    def as_dict(self) -> Dict[str, object]:
+        """All Table I columns (plus resilience and obs sections) as one dict.
+
+        Values are heterogeneous — numbers for the paper columns,
+        strings/lists/dicts for chip name, failure and observability
+        data — hence ``Dict[str, object]``, not ``Dict[str, float]``.
+        """
+        out: Dict[str, object] = {
             "chip": self.chip_name,
             "nets": self.nets,
             "time_total_s": round(self.runtime_total, 2),
@@ -91,6 +103,9 @@ class FlowMetrics:
             "degraded_stages": dict(self.degraded_stages),
             "resumed_from": self.resumed_from,
         }
+        if self.obs:
+            out["obs"] = self.obs
+        return out
 
 
 def peak_memory_mb() -> float:

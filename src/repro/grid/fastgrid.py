@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.geometry.rect import Rect
 from repro.grid.drc_query import DistanceRuleChecker, PlacementCheck, PrefetchedBand
 from repro.grid.shapegrid import RIPUP_FIXED
+from repro.obs import OBS
 from repro.grid.trackgraph import TrackGraph, Vertex
 from repro.tech.layers import Direction
 from repro.tech.wiring import StickFigure, WireType
@@ -153,6 +154,9 @@ class FastGrid:
             track_cache[c] = self._compute_word(
                 wire_type, (z, t, c), prefetched=prefetched
             )
+        if OBS.enabled:
+            OBS.count("fastgrid.misses", len(missing))
+            OBS.count("fastgrid.words_prefetched", len(missing))
 
     def word(self, wire_type_name: str, vertex: Vertex) -> Word:
         """Legality word at a vertex, from cache or freshly computed.
@@ -165,6 +169,8 @@ class FastGrid:
         wire_type = self.wire_types[wire_type_name]
         if not self.enabled:
             self.misses += 1
+            if OBS.enabled:
+                OBS.count("fastgrid.misses")
             return self._compute_word(wire_type, vertex)
         z, t, c = vertex
         key = (wire_type_name, z, t)
@@ -175,8 +181,12 @@ class FastGrid:
         word = track_cache.get(c)
         if word is not None:
             self.hits += 1
+            if OBS.enabled:
+                OBS.count("fastgrid.hits")
             return word
         self.misses += 1
+        if OBS.enabled:
+            OBS.count("fastgrid.misses")
         word = self._compute_word(wire_type, vertex)
         track_cache[c] = word
         return word
@@ -222,6 +232,8 @@ class FastGrid:
         Deduce from the endpoint words unless a dirty bit forces a direct
         segment query (Sec. 3.6 / Fig. 4).
         """
+        if OBS.enabled:
+            OBS.count("fastgrid.queries")
         if kind == "via":
             upper_vertex = v if v[0] > w[0] else w
             lower_vertex = w if v[0] > w[0] else v
@@ -240,6 +252,8 @@ class FastGrid:
     def _segment_check(
         self, wire_type_name: str, v: Vertex, w: Vertex, kind: str, ripup_level: int
     ) -> bool:
+        if OBS.enabled:
+            OBS.count("fastgrid.shapegrid_fallbacks")
         wire_type = self.wire_types[wire_type_name]
         xv, yv, z = self.graph.position(v)
         xw, yw, _ = self.graph.position(w)

@@ -26,6 +26,7 @@ from repro.grid.cellconfig import (
     Config,
     ConfigTable,
 )
+from repro.obs import OBS
 from repro.tech.layers import Direction, LayerStack
 from repro.tech.wiring import ShapeKind
 from repro.util.avl import AVLTree
@@ -327,6 +328,8 @@ class ShapeGrid:
         ripup_level: int,
         rule_width: int,
     ) -> None:
+        if OBS.enabled:
+            OBS.count("shapegrid.shape_adds")
         meta = (net, class_name, shape_kind.value, ripup_level, rule_width)
         self._grid(kind, layer).add(rect, meta)
 
@@ -341,10 +344,14 @@ class ShapeGrid:
         ripup_level: int,
         rule_width: int,
     ) -> None:
+        if OBS.enabled:
+            OBS.count("shapegrid.shape_removes")
         meta = (net, class_name, shape_kind.value, ripup_level, rule_width)
         self._grid(kind, layer).remove(rect, meta)
 
     def query(self, kind: str, layer: int, rect: Rect) -> List[ShapeEntry]:
+        if OBS.enabled:
+            OBS.count("shapegrid.queries")
         return list(self._grid(kind, layer).query(rect))
 
     def interval_count(self, kind: str, layer: int) -> int:

@@ -23,6 +23,7 @@ from repro.groute.graph import GlobalRoute, GlobalRoutingGraph
 from repro.groute.resources import ResourceModel
 from repro.groute.rounding import RoundingPostprocessor, RoundingStats
 from repro.groute.sharing import FractionalSolution, ResourceSharingSolver
+from repro.obs import OBS
 from repro.grid.tracks import TrackPlan, build_track_plan
 from repro.steiner.rsmt import steiner_length
 
@@ -167,7 +168,10 @@ class GlobalRouter:
             fault_injector=self.fault_injector,
         )
         sharing_start = time.time()
-        fractional = solver.solve(routable, deadline=deadline)
+        with OBS.trace(
+            "groute.sharing", nets=len(routable), phases=self.phases
+        ):
+            fractional = solver.solve(routable, deadline=deadline)
         result.sharing_runtime = time.time() - sharing_start
         result.fractional = fractional
         rounding_start = time.time()
@@ -175,10 +179,18 @@ class GlobalRouter:
             self.graph, self.model, self.seed,
             fault_injector=self.fault_injector,
         )
-        routes = postprocessor.round(fractional)
-        routes = postprocessor.repair(routes, fractional, routable)
+        with OBS.trace("groute.rounding"):
+            routes = postprocessor.round(fractional)
+            routes = postprocessor.repair(routes, fractional, routable)
         result.rounding_runtime = time.time() - rounding_start
         result.rounding_stats = postprocessor.stats
         result.routes = routes
         result.total_runtime = time.time() - start
+        if OBS.enabled:
+            OBS.count("groute.nets_routed", len(result.routes))
+            OBS.count("groute.local_nets", len(result.local_nets))
+            stats = result.rounding_stats
+            if stats is not None:
+                OBS.count("groute.fresh_reroutes", stats.fresh_reroutes)
+                OBS.gauge("groute.final_violations", stats.final_violations)
         return result

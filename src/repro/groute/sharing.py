@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.chip.net import Net
 from repro.groute.graph import Edge, GlobalRoutingGraph
 from repro.groute.resources import GLOBAL_RESOURCES, ResourceModel
+from repro.obs import OBS
 from repro.groute.steiner_oracle import (
     OracleResult,
     path_composition_steiner_tree,
@@ -186,11 +187,18 @@ class ResourceSharingSolver:
             net.name: self.graph.net_terminals(net) for net in nets
         }
         previous: Dict[str, Tuple[SolutionKey, float]] = {}
+        #: Running resource-usage totals for the per-phase lambda estimate
+        #: (sum over all recorded solutions; dividing by phases_run gives
+        #: the congestion of the running average).  Maintained only while
+        #: observability is on.
+        running_usage: Dict[object, float] = {}
         for _phase in range(self.phases):
             if deadline is not None and deadline.expired:
                 # Degrade gracefully: average over the phases completed
                 # so far instead of aborting the stage.
                 solution.deadline_hit = True
+                if OBS.enabled:
+                    OBS.event("sharing.deadline_hit", phase=solution.phases_run)
                 break
             solution.phases_run += 1
             for net in nets:
@@ -242,6 +250,31 @@ class ResourceSharingSolver:
                         self._log_price[name] = (
                             self._log_price.get(name, 0.0) + self.epsilon * usage
                         )
+                if OBS.enabled:
+                    for resource, usage in edge_usage.items():
+                        running_usage[resource] = (
+                            running_usage.get(resource, 0.0) + usage
+                        )
+                    for resource, usage in global_usage.items():
+                        running_usage[resource] = (
+                            running_usage.get(resource, 0.0) + usage
+                        )
+            if OBS.enabled:
+                # Congestion of the running phase average: the per-phase
+                # lambda trajectory of Fig. 6-style convergence plots.
+                lam = (
+                    max(running_usage.values(), default=0.0)
+                    / solution.phases_run
+                )
+                OBS.gauge("sharing.lambda", lam)
+                OBS.count("sharing.phases")
+                OBS.event(
+                    "sharing.phase",
+                    phase=solution.phases_run,
+                    lam=lam,
+                    oracle_calls=solution.oracle_calls,
+                    oracle_reuses=solution.oracle_reuses,
+                )
         # Average over phases (Algorithm 2, line 10).
         for net_name, net_counts in counts.items():
             total = sum(net_counts.values())
@@ -254,6 +287,12 @@ class ResourceSharingSolver:
             resource: math.exp(value) for resource, value in self._log_price.items()
         }
         solution.max_congestion = self.fractional_congestion(solution)
+        if OBS.enabled:
+            OBS.count("sharing.oracle_calls", solution.oracle_calls)
+            OBS.count("sharing.oracle_reuses", solution.oracle_reuses)
+            OBS.count("sharing.oracle_faults", solution.oracle_faults)
+            OBS.observe("sharing.oracle_time_s", solution.oracle_time)
+            OBS.gauge("sharing.lambda", solution.max_congestion)
         return solution
 
     # ------------------------------------------------------------------

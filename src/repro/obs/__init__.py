@@ -1,0 +1,56 @@
+"""``repro.obs`` — zero-dependency observability for the routing flow.
+
+Three pieces:
+
+* :class:`~repro.obs.core.Observer` — a span tracer (``with
+  OBS.trace("droute.net", net=...)``) plus a metrics registry
+  (counters, gauges, histograms) with monotonic timing and nesting;
+* sinks (:mod:`repro.obs.sinks`) — a JSONL event log (``--trace-out``),
+  the end-of-run CLI summary table, and a congestion heatmap export
+  keyed by global-routing edge usage (``--heatmap-out``);
+* the schema (:mod:`repro.obs.schema`) — the documented trace format
+  and its validator (``python -m repro.obs.schema TRACE.jsonl``).
+
+``OBS`` is the process-wide singleton every instrumentation site uses.
+It starts disabled; while disabled each site costs one boolean check
+(``if OBS.enabled:``) and records nothing.  Enable it with
+``OBS.configure(enabled=True, sink=JsonlTraceSink(path))`` — the CLI
+does this for ``--trace-out`` — and ``OBS.close()`` at the end of the
+run to flush the summary record.
+
+Every metric and span name emitted anywhere in the codebase is
+catalogued in ``docs/OBSERVABILITY.md`` with its unit and the paper
+table/figure it reproduces; ``tests/test_obs.py`` and the CI smoke job
+hold the code and that catalogue together.
+"""
+
+from repro.obs.core import Histogram, Observer, Span
+from repro.obs.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    validate_trace_file,
+    validate_trace_lines,
+)
+from repro.obs.sinks import (
+    JsonlTraceSink,
+    congestion_heatmap,
+    write_congestion_heatmap,
+)
+
+#: The process-wide observer.  Import the object, not its fields:
+#: ``from repro.obs import OBS`` then ``if OBS.enabled: OBS.count(...)``.
+OBS = Observer(enabled=False)
+
+__all__ = [
+    "OBS",
+    "Observer",
+    "Span",
+    "Histogram",
+    "JsonlTraceSink",
+    "congestion_heatmap",
+    "write_congestion_heatmap",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

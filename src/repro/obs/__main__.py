@@ -1,0 +1,12 @@
+"""``python -m repro.obs TRACE.jsonl`` — validate a trace file.
+
+Thin wrapper over :func:`repro.obs.schema.main` so validation has an
+entry point that does not re-execute an already-imported module.
+"""
+
+import sys
+
+from repro.obs.schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Span tracer and metrics registry (the observability core).
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  Every instrumentation site in the hot
+   paths guards itself with a single attribute check
+   (``if OBS.enabled:``); :meth:`Observer.trace` returns a shared no-op
+   context manager, so even unguarded stage-level spans cost one boolean
+   check and one call.
+2. **No dependencies.**  Pure stdlib: monotonic timing via
+   :func:`time.perf_counter`, JSON for the sink format.
+3. **Deterministic aggregation.**  Counters, gauges and histograms are
+   plain dicts keyed by dotted metric names (``pathsearch.labels_pushed``);
+   the summary is reproducible modulo wall-clock durations.
+
+The process-wide singleton lives in :mod:`repro.obs` as ``OBS``; it is
+never replaced, only reconfigured, so ``from repro.obs import OBS``
+bindings stay valid.  The metric name catalogue — every counter, gauge,
+span and event the routing flow emits — is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+#: Metric / span / event names: lowercase dotted identifiers.
+NAME_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789_."
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (no buckets kept)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+class Span:
+    """One finished span: a named, timed, nested region of the flow."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "depth")
+
+    def __init__(
+        self, name: str, attrs: Dict[str, object], start: float, depth: int
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.duration = 0.0
+        self.depth = depth
+
+    def as_record(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "dur": self.duration,
+            "depth": self.depth,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __repr__(self) -> str:
+        return f"Span({self.name}, dur={self.duration:.6f}, depth={self.depth})"
+
+
+class _NullContext:
+    """Shared no-op context manager returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_observer", "_span")
+
+    def __init__(self, observer: "Observer", span: Span) -> None:
+        self._observer = observer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._observer._finish_span(self._span)
+        return False
+
+
+class Observer:
+    """Span tracer + metrics registry + sink dispatcher.
+
+    ``enabled`` is a plain attribute so hot sites pay one attribute load
+    to skip all work.  A ``clock`` can be injected for deterministic
+    timing tests; it must be monotonic.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: Finished spans in completion order (bounded by ``max_spans``).
+        self.spans: List[Span] = []
+        #: Per-name span aggregates: name -> [count, total seconds].
+        self.span_totals: Dict[str, List[float]] = {}
+        self._stack: List[Span] = []
+        self._sink = None
+        #: Cap on retained Span objects; aggregates and the sink always
+        #: see every span, the in-memory list is for tests and the CLI.
+        self.max_spans = 100_000
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, enabled: bool = True, sink=None) -> "Observer":
+        """Enable/disable and (re)attach a sink; returns self."""
+        self.enabled = enabled
+        if sink is not None:
+            self._sink = sink
+            sink.open(self)
+        return self
+
+    def reset(self) -> None:
+        """Drop all recorded data and detach the sink (left unclosed)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()
+        self.span_totals.clear()
+        self._stack.clear()
+        self._sink = None
+        self._epoch = self._clock()
+
+    def close(self) -> None:
+        """Flush and close the sink (writes the summary record)."""
+        if self._sink is not None:
+            self._sink.close(self)
+            self._sink = None
+
+    def now(self) -> float:
+        """Seconds since this observer's epoch (monotonic)."""
+        return self._clock() - self._epoch
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def trace(self, name: str, **attrs: object):
+        """Context manager timing a named region; no-op when disabled.
+
+        Usage: ``with OBS.trace("droute.net", net=net.name): ...``
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        span = Span(name, attrs, self.now(), len(self._stack))
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish_span(self, span: Span) -> None:
+        span.duration = self.now() - span.start
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(span)
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        totals = self.span_totals.setdefault(span.name, [0, 0.0])
+        totals[0] += 1
+        totals[1] += span.duration
+        if self._sink is not None:
+            self._sink.write(span.as_record())
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str, delta: float = 1) -> None:
+        """Increment a monotonically growing counter."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a point-in-time measurement."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into a streaming histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self.histograms[name] = histogram
+        histogram.add(value)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point-in-time event to the trace sink."""
+        if self._sink is not None:
+            record: Dict[str, object] = {
+                "type": "event",
+                "name": name,
+                "t": self.now(),
+            }
+            if attrs:
+                record["attrs"] = attrs
+            self._sink.write(record)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """All aggregates as one JSON-serializable dict."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+            "spans": {
+                name: {"count": int(totals[0]), "total_s": totals[1]}
+                for name, totals in sorted(self.span_totals.items())
+            },
+        }
+
+    def summary_table(self) -> str:
+        """Human-readable end-of-run summary (the CLI sink)."""
+        lines: List[str] = []
+        if self.span_totals:
+            lines.append("spans (count, total seconds):")
+            width = max(len(name) for name in self.span_totals)
+            for name, totals in sorted(self.span_totals.items()):
+                lines.append(
+                    f"  {name:<{width}}  x{int(totals[0]):<6} {totals[1]:.3f}s"
+                )
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name, value in sorted(self.counters.items()):
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"  {name:<{width}}  {shown}")
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(name) for name in self.gauges)
+            for name, value in sorted(self.gauges.items()):
+                lines.append(f"  {name:<{width}}  {value:.6g}")
+        if self.histograms:
+            lines.append("histograms (count / mean / max):")
+            width = max(len(name) for name in self.histograms)
+            for name, histogram in sorted(self.histograms.items()):
+                lines.append(
+                    f"  {name:<{width}}  {histogram.count} / "
+                    f"{histogram.mean:.6g} / "
+                    f"{histogram.maximum if histogram.maximum is not None else 0:.6g}"
+                )
+        return "\n".join(lines) if lines else "(no observability data recorded)"

@@ -1,0 +1,166 @@
+"""The trace-file schema and its validator.
+
+A trace file is JSONL: one JSON object per line, each with a ``type``
+field.  The format (documented for humans in ``docs/OBSERVABILITY.md``,
+kept honest by this validator, which CI runs against every smoke trace):
+
+* line 1 — ``meta``: ``{"type": "meta", "schema": "repro-trace",
+  "version": 1, ...}`` (extra keys, e.g. ``chip`` or ``argv``, allowed);
+* middle — any number of, in completion order:
+  * ``span``: ``name`` (dotted lowercase), ``start`` (seconds since
+    trace epoch), ``dur`` (seconds, >= 0), ``depth`` (nesting level,
+    >= 0), optional ``attrs`` object;
+  * ``event``: ``name``, ``t`` (seconds since trace epoch), optional
+    ``attrs`` object;
+* last line — ``summary``: the aggregate registry dump with ``counters``
+  / ``gauges`` / ``histograms`` / ``spans`` objects (metric name ->
+  number, histogram dict, or ``{count, total_s}``).
+
+Usage: ``python -m repro.obs.schema TRACE.jsonl`` exits 0 when valid and
+prints one error per line otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+SCHEMA_NAME = "repro-trace"
+SCHEMA_VERSION = 1
+
+#: Characters permitted in metric / span / event names.
+_NAME_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_.")
+
+
+def _valid_name(name: object) -> bool:
+    return (
+        isinstance(name, str)
+        and bool(name)
+        and not name.startswith(".")
+        and not name.endswith(".")
+        and all(char in _NAME_CHARS for char in name)
+    )
+
+
+def _check_number(record: Dict, key: str, line: int, errors: List[str],
+                  minimum: float = None) -> None:
+    value = record.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        errors.append(f"line {line}: {record.get('type')} field {key!r} "
+                      f"must be a number, got {value!r}")
+    elif minimum is not None and value < minimum:
+        errors.append(f"line {line}: {record.get('type')} field {key!r} "
+                      f"must be >= {minimum}, got {value!r}")
+
+
+def validate_trace_lines(lines: List[str]) -> List[str]:
+    """Validate a trace file's lines; returns a list of error strings."""
+    errors: List[str] = []
+    records: List[Dict] = []
+    for index, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {index}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"line {index}: invalid JSON ({error})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {index}: record must be a JSON object")
+            continue
+        records.append(record)
+        record["_line"] = index
+    if not records:
+        errors.append("trace is empty")
+        return errors
+
+    head = records[0]
+    if head.get("type") != "meta":
+        errors.append(f"line {head['_line']}: first record must be 'meta', "
+                      f"got {head.get('type')!r}")
+    else:
+        if head.get("schema") != SCHEMA_NAME:
+            errors.append(f"line 1: meta schema must be {SCHEMA_NAME!r}")
+        if head.get("version") != SCHEMA_VERSION:
+            errors.append(f"line 1: meta version must be {SCHEMA_VERSION}")
+
+    summaries = [r for r in records if r.get("type") == "summary"]
+    if len(summaries) != 1:
+        errors.append(f"trace must contain exactly one summary record, "
+                      f"found {len(summaries)}")
+    elif records[-1].get("type") != "summary":
+        errors.append("summary must be the last record")
+
+    for record in records[1:]:
+        line = record["_line"]
+        kind = record.get("type")
+        if kind == "span":
+            if not _valid_name(record.get("name")):
+                errors.append(f"line {line}: invalid span name "
+                              f"{record.get('name')!r}")
+            _check_number(record, "start", line, errors, minimum=0.0)
+            _check_number(record, "dur", line, errors, minimum=0.0)
+            _check_number(record, "depth", line, errors, minimum=0)
+            if "attrs" in record and not isinstance(record["attrs"], dict):
+                errors.append(f"line {line}: span attrs must be an object")
+        elif kind == "event":
+            if not _valid_name(record.get("name")):
+                errors.append(f"line {line}: invalid event name "
+                              f"{record.get('name')!r}")
+            _check_number(record, "t", line, errors, minimum=0.0)
+            if "attrs" in record and not isinstance(record["attrs"], dict):
+                errors.append(f"line {line}: event attrs must be an object")
+        elif kind == "summary":
+            for section in ("counters", "gauges", "histograms", "spans"):
+                table = record.get(section)
+                if not isinstance(table, dict):
+                    errors.append(f"line {line}: summary.{section} must be "
+                                  f"an object")
+                    continue
+                for name, value in table.items():
+                    if not _valid_name(name):
+                        errors.append(f"line {line}: invalid metric name "
+                                      f"{name!r} in summary.{section}")
+                    if section in ("counters", "gauges"):
+                        if not isinstance(value, (int, float)) or isinstance(
+                            value, bool
+                        ):
+                            errors.append(
+                                f"line {line}: summary.{section}[{name!r}] "
+                                f"must be a number"
+                            )
+                    elif not isinstance(value, dict):
+                        errors.append(
+                            f"line {line}: summary.{section}[{name!r}] "
+                            f"must be an object"
+                        )
+        elif kind == "meta":
+            errors.append(f"line {line}: duplicate meta record")
+        else:
+            errors.append(f"line {line}: unknown record type {kind!r}")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Validate a trace file on disk; returns a list of error strings."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace_lines(handle.read().splitlines())
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+        return 2
+    errors = validate_trace_file(argv[0])
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"{argv[0]}: valid {SCHEMA_NAME} v{SCHEMA_VERSION}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

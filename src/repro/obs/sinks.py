@@ -1,0 +1,104 @@
+"""Trace sinks: JSONL event log and the congestion heatmap export.
+
+The JSONL trace format is line-delimited JSON with a ``type`` field per
+record; ``repro.obs.schema`` is the single source of truth for the
+format (and validates files against it).  The congestion heatmap is a
+separate single-JSON export keyed by global-routing edge usage, meant
+for plotting utilization over the tile grid.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.schema import SCHEMA_NAME, SCHEMA_VERSION
+
+
+class JsonlTraceSink:
+    """Append-only JSONL writer for spans, events and the final summary.
+
+    The first record is the ``meta`` header, the last (written by
+    ``close``) the aggregate ``summary``; spans and events stream in
+    between in completion order.
+    """
+
+    def __init__(self, path: str, meta: Optional[Dict[str, object]] = None) -> None:
+        self.path = path
+        self.meta = dict(meta) if meta else {}
+        self._file = None
+
+    def open(self, observer) -> None:
+        if self._file is not None:
+            return
+        self._file = open(self.path, "w", encoding="utf-8")
+        header: Dict[str, object] = {
+            "type": "meta",
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+        }
+        header.update(self.meta)
+        self.write(header)
+
+    def write(self, record: Dict[str, object]) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(record, sort_keys=True, default=str))
+        self._file.write("\n")
+
+    def close(self, observer) -> None:
+        if self._file is None:
+            return
+        summary: Dict[str, object] = {"type": "summary"}
+        summary.update(observer.summary())
+        self.write(summary)
+        self._file.close()
+        self._file = None
+
+
+def congestion_heatmap(global_result) -> Dict[str, object]:
+    """Global-routing edge utilization, JSON-serializable.
+
+    Usage counts how many rounded net routes use each tile-graph edge;
+    capacity comes from the estimation of Sec. 2.5.  ``utilization`` is
+    their ratio (0 capacity reports utilization equal to usage, which
+    flags routes through blocked edges).  Edges carry their endpoint
+    tile nodes ``[tx, ty, z]`` so a plotter can rasterize per layer.
+    """
+    graph = global_result.graph
+    usage: Dict[object, int] = {}
+    for route in global_result.routes.values():
+        for edge in route.edges:
+            usage[edge] = usage.get(edge, 0) + 1
+    edges: List[Dict[str, object]] = []
+    for edge in sorted(usage):
+        a, b = edge
+        capacity = graph.capacity(edge)
+        count = usage[edge]
+        edges.append(
+            {
+                "a": list(a),
+                "b": list(b),
+                "usage": count,
+                "capacity": capacity,
+                "utilization": count / capacity if capacity > 0 else float(count),
+            }
+        )
+    max_utilization = max((e["utilization"] for e in edges), default=0.0)
+    return {
+        "type": "congestion_heatmap",
+        "chip": global_result.chip.name,
+        "tile_size": graph.tile_size,
+        "tiles": [graph.nx, graph.ny],
+        "edges": edges,
+        "max_utilization": max_utilization,
+    }
+
+
+def write_congestion_heatmap(global_result, path: str) -> Dict[str, object]:
+    """Serialize :func:`congestion_heatmap` to ``path``; returns the dict."""
+    heatmap = congestion_heatmap(global_result)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(heatmap, handle, sort_keys=True)
+        handle.write("\n")
+    return heatmap

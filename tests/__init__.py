@@ -1,0 +1,4 @@
+"""Unit, integration and property tests for the BonnRoute reproduction.
+
+Run with ``PYTHONPATH=src python -m pytest -x -q`` (the tier-1 gate).
+"""

@@ -1,0 +1,256 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the span tracer (nesting, timing with an injected clock), the
+metrics registry, disabled-mode behaviour, the JSONL sink round-trip
+against the schema validator, the congestion heatmap export, and a full
+CLI ``route --trace-out`` run whose emitted metric names must all be
+catalogued in docs/OBSERVABILITY.md.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.flow.bonnroute import BonnRouteFlow
+from repro.io.textformat import write_chip_file
+from repro.obs import (
+    OBS,
+    Histogram,
+    JsonlTraceSink,
+    Observer,
+    congestion_heatmap,
+    validate_trace_file,
+    validate_trace_lines,
+)
+from repro.obs.core import _NULL_CONTEXT
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SPEC = ChipSpec("obstest", rows=2, row_width_cells=4, net_count=6, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def _clean_singleton():
+    """The process-wide OBS singleton must not leak state across tests."""
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    OBS.reset()
+    OBS.enabled = False
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timing assertions."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def tick(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestCore:
+    def test_histogram_streams_stats(self):
+        h = Histogram()
+        for v in (4.0, 1.0, 7.0):
+            h.add(v)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["min"] == 1.0
+        assert d["max"] == 7.0
+        assert d["mean"] == pytest.approx(4.0)
+
+    def test_spans_nest_and_time(self):
+        clock = FakeClock()
+        obs = Observer(enabled=True, clock=clock)
+        with obs.trace("outer", chip="c") as outer:
+            clock.tick(1.0)
+            with obs.trace("inner") as inner:
+                clock.tick(0.25)
+            clock.tick(0.5)
+        assert outer.depth == 0
+        assert inner.depth == 1
+        assert inner.duration == pytest.approx(0.25)
+        assert outer.duration == pytest.approx(1.75)
+        # Completion order: inner closes before outer.
+        assert [s.name for s in obs.spans] == ["inner", "outer"]
+        assert obs.span_totals["outer"] == [1, pytest.approx(1.75)]
+        assert obs.summary()["spans"]["inner"]["count"] == 1
+
+    def test_counters_gauges_histograms_aggregate(self):
+        obs = Observer(enabled=True, clock=FakeClock())
+        obs.count("a.hits")
+        obs.count("a.hits", 4)
+        obs.gauge("a.lambda", 2.0)
+        obs.gauge("a.lambda", 0.5)  # latest value wins
+        obs.observe("a.size", 10.0)
+        obs.observe("a.size", 20.0)
+        summary = obs.summary()
+        assert summary["counters"]["a.hits"] == 5
+        assert summary["gauges"]["a.lambda"] == 0.5
+        assert summary["histograms"]["a.size"]["mean"] == pytest.approx(15.0)
+        table = obs.summary_table()
+        assert "a.hits" in table and "a.lambda" in table
+
+    def test_disabled_mode_records_nothing(self):
+        obs = Observer(enabled=False, clock=FakeClock())
+        ctx = obs.trace("anything", net="n1")
+        # Shared no-op context: no allocation per call site.
+        assert ctx is _NULL_CONTEXT
+        assert obs.trace("other") is ctx
+        with ctx:
+            pass
+        assert obs.spans == []
+        assert obs.span_totals == {}
+        assert obs.summary_table() == "(no observability data recorded)"
+
+    def test_reset_clears_everything(self):
+        obs = Observer(enabled=True, clock=FakeClock())
+        obs.count("x")
+        with obs.trace("s"):
+            pass
+        obs.reset()
+        assert obs.counters == {} and obs.spans == []
+
+
+class TestJsonlSink:
+    def test_round_trip_validates_and_preserves_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = FakeClock()
+        obs = Observer(enabled=True, clock=clock)
+        obs.configure(enabled=True, sink=JsonlTraceSink(str(path), meta={"chip": "c1"}))
+        with obs.trace("flow.run", chip="c1"):
+            clock.tick(0.5)
+            obs.event("sharing.phase", phase=1, lam=0.9)
+            obs.count("pathsearch.searches", 3)
+        obs.close()
+
+        lines = path.read_text().splitlines()
+        assert validate_trace_lines(lines) == []
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == "repro-trace"
+        assert records[0]["chip"] == "c1"
+        kinds = [r["type"] for r in records]
+        assert kinds == ["meta", "event", "span", "summary"]
+        span = records[2]
+        assert span["name"] == "flow.run"
+        assert span["dur"] == pytest.approx(0.5)
+        assert span["attrs"] == {"chip": "c1"}
+        assert records[-1]["counters"]["pathsearch.searches"] == 3
+
+    def test_validator_rejects_malformed_traces(self):
+        meta = json.dumps(
+            {"type": "meta", "schema": "repro-trace", "version": 1}
+        )
+        summary = json.dumps(
+            {"type": "summary", "counters": {}, "gauges": {},
+             "histograms": {}, "spans": {}}
+        )
+        assert validate_trace_lines([]) != []
+        assert validate_trace_lines([summary]) != []  # no meta header
+        # Summary must be last and unique.
+        assert validate_trace_lines([meta, summary, summary]) != []
+        bad_name = json.dumps(
+            {"type": "span", "name": "Bad Name!", "start": 0.0,
+             "dur": 0.0, "depth": 0}
+        )
+        errors = validate_trace_lines([meta, bad_name, summary])
+        assert any("invalid span name" in e for e in errors)
+        negative = json.dumps(
+            {"type": "span", "name": "ok.name", "start": 0.0,
+             "dur": -1.0, "depth": 0}
+        )
+        errors = validate_trace_lines([meta, negative, summary])
+        assert any("'dur'" in e for e in errors)
+        assert validate_trace_lines([meta, "not json", summary]) != []
+
+
+class TestFlowIntegration:
+    def test_flow_metrics_obs_section(self):
+        OBS.configure(enabled=True)
+        result = BonnRouteFlow(generate_chip(SPEC), gr_phases=6, seed=1).run()
+        obs = result.metrics.obs
+        assert obs, "metrics.obs must be populated when observability is on"
+        assert obs["counters"]["pathsearch.searches"] > 0
+        assert "flow.run" in obs["spans"]
+        assert obs["spans"]["flow.run"]["count"] == 1
+        # as_dict carries the section through (the Table I hook).
+        assert result.metrics.as_dict()["obs"] is obs
+
+    def test_disabled_flow_has_no_obs_section(self):
+        result = BonnRouteFlow(generate_chip(SPEC), gr_phases=6, seed=1).run()
+        assert result.metrics.obs == {}
+        assert "obs" not in result.metrics.as_dict()
+
+    def test_congestion_heatmap_export(self):
+        result = BonnRouteFlow(generate_chip(SPEC), gr_phases=6, seed=1).run()
+        heatmap = congestion_heatmap(result.global_result)
+        assert heatmap["type"] == "congestion_heatmap"
+        assert heatmap["chip"] == "obstest"
+        assert len(heatmap["tiles"]) == 2
+        for edge in heatmap["edges"]:
+            assert edge["usage"] >= 1
+            assert len(edge["a"]) == 3 and len(edge["b"]) == 3
+        if heatmap["edges"]:
+            assert heatmap["max_utilization"] == pytest.approx(
+                max(e["utilization"] for e in heatmap["edges"])
+            )
+
+
+class TestCliTrace:
+    def test_route_trace_out_produces_valid_documented_trace(self, tmp_path):
+        chip_path = str(tmp_path / "chip.txt")
+        routes_path = str(tmp_path / "routes.txt")
+        trace_path = str(tmp_path / "trace.jsonl")
+        heatmap_path = str(tmp_path / "heatmap.json")
+        write_chip_file(generate_chip(SPEC), chip_path)
+        code = main([
+            "route", chip_path, routes_path, "--gr-phases", "6",
+            "--seed", "1", "--trace-out", trace_path,
+            "--heatmap-out", heatmap_path,
+        ])
+        assert code in (0, 1)
+
+        assert validate_trace_file(trace_path) == []
+        records = [
+            json.loads(line)
+            for line in Path(trace_path).read_text().splitlines()
+        ]
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        counters = summary["counters"]
+        spans = summary["spans"]
+        # Acceptance bar: the summary reports per-stage spans and at
+        # least 8 distinct counters, every one catalogued in the docs.
+        for stage in ("flow.global", "flow.detailed", "flow.run"):
+            assert stage in spans, f"missing stage span {stage}"
+        assert len(counters) >= 8
+        documented = set(
+            re.findall(
+                r"`([a-z0-9_.]+)`",
+                (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(),
+            )
+        )
+        emitted = (
+            set(counters)
+            | set(summary["gauges"])
+            | set(summary["histograms"])
+            | set(spans)
+            | {r["name"] for r in records if r["type"] == "event"}
+        )
+        undocumented = sorted(emitted - documented)
+        assert undocumented == [], (
+            f"names missing from docs/OBSERVABILITY.md: {undocumented}"
+        )
+
+        heatmap = json.loads(Path(heatmap_path).read_text())
+        assert heatmap["type"] == "congestion_heatmap"
+        assert heatmap["edges"]
