@@ -16,17 +16,27 @@ layer enabled: the internal counters (docs/OBSERVABILITY.md) are then
 recorded in each benchmark's ``extra_info["br"]["obs"]`` section
 alongside the paper columns.  Off by default so the timed runs measure
 the disabled-mode (single boolean check) overhead only.
+
+The summary test persists the run into ``BENCH_table1.json``
+(``benchmarks/common.write_bench_record``); with ``REPRO_BENCH_OBS=1``
+the record carries the summed deterministic work counters the
+``python -m repro.obs.regress`` CI gate compares.
 """
 
 import os
 
 import pytest
 
-from benchmarks.common import bench_specs, print_table
+from benchmarks.common import (
+    bench_mode,
+    bench_observability,
+    bench_specs,
+    print_table,
+    write_bench_record,
+)
 from repro.chip.generator import generate_chip
 from repro.flow.bonnroute import BonnRouteFlow
 from repro.flow.isr_flow import IsrFlow
-from repro.obs import OBS
 
 _RESULTS = {}
 
@@ -34,17 +44,10 @@ _BENCH_OBS = bool(os.environ.get("REPRO_BENCH_OBS"))
 
 
 def _run_chip(spec):
-    if _BENCH_OBS:
-        # Fresh registry per chip so counters do not bleed across rows;
-        # BonnRouteFlow.run() snapshots the summary into metrics.obs.
-        OBS.reset()
-        OBS.configure(enabled=True)
-    try:
+    # Fresh registry per chip so counters do not bleed across rows;
+    # BonnRouteFlow.run() snapshots the summary into metrics.obs.
+    with bench_observability(enabled=_BENCH_OBS):
         br = BonnRouteFlow(generate_chip(spec), gr_phases=10, seed=1).run()
-    finally:
-        if _BENCH_OBS:
-            OBS.reset()
-            OBS.enabled = False
     isr = IsrFlow(generate_chip(spec)).run()
     return br.metrics, isr.metrics
 
@@ -62,6 +65,44 @@ def test_table1_chip(benchmark, spec):
     # netlength / via / scenic comparisons are asserted on the sums.
     assert br.netlength <= isr.netlength * 1.30
     assert br.vias <= isr.vias * 1.30
+
+
+def _persist(totals, totals_isr):
+    """Append this run to BENCH_table1.json (the perf trajectory).
+
+    Quality columns (netlength, vias, scenic, errors) are deterministic
+    under fixed seeds and always gate-able; the internal work counters
+    join them when ``REPRO_BENCH_OBS=1`` enabled the registry.
+    """
+    work = {
+        "br.netlength": totals["net"],
+        "br.vias": totals["vias"],
+        "br.scenic_25": totals["s25"],
+        "br.scenic_50": totals["s50"],
+        "br.errors": totals["err"],
+        "isr.netlength": totals_isr["net"],
+        "isr.vias": totals_isr["vias"],
+        "isr.errors": totals_isr["err"],
+    }
+    if _BENCH_OBS:
+        for name, (br, _isr) in sorted(_RESULTS.items()):
+            for counter, value in (br.obs.get("counters") or {}).items():
+                key = f"br.{counter}"
+                work[key] = work.get(key, 0) + (
+                    int(value) if float(value).is_integer() else value
+                )
+    wall_clock = {
+        "br.time_total_s": totals["time"],
+        "br.time_bonnroute_s": totals["br_time"],
+        "isr.time_total_s": totals_isr["time"],
+    }
+    columns = {
+        name: {"br": br.as_dict(), "isr": isr.as_dict()}
+        for name, (br, isr) in sorted(_RESULTS.items())
+    }
+    path = write_bench_record("table1", wall_clock, work, columns=columns)
+    if path is not None:
+        print(f"bench record appended to {path}")
 
 
 def test_table1_summary(benchmark):
@@ -122,6 +163,13 @@ def test_table1_summary(benchmark):
     benchmark.extra_info["sum_isr"] = {
         k: v for k, v in totals_isr.items() if k != "flow"
     }
+    _persist(totals, totals_isr)
+    if bench_mode() == "quick":
+        # One tiny chip cannot carry the headline ratios (they are
+        # asserted on sums precisely to smooth per-chip noise); quick
+        # mode exists to feed the regression gate, so only sanity-check.
+        assert totals["net"] <= totals_isr["net"] * 1.30
+        return
     # Aggregate reproduction checks (Table I's headline ratios).
     assert totals["net"] < totals_isr["net"], "BR+ISR must shorten netlength"
     assert totals["vias"] < totals_isr["vias"], "BR+ISR must reduce vias"

@@ -11,7 +11,12 @@ bench reproduces the classes over the bench chips' global routes.
 
 import pytest
 
-from benchmarks.common import print_table
+from benchmarks.common import (
+    bench_observability,
+    obs_work_counters,
+    print_table,
+    write_bench_record,
+)
 from repro.chip.generator import ChipSpec, generate_chip
 from repro.groute.router import GlobalRouter
 from repro.steiner.rsmt import steiner_length
@@ -44,13 +49,17 @@ PAPER_RATIOS = {
 
 def _collect():
     per_class = {name: [0, 0] for name, _ in CLASSES}  # [routed, steiner]
+    work = {}
     for spec in TABLE2_SPECS:
         chip = generate_chip(spec)
         # capacity_scale simulates the paper's dense-chip congestion
         # regime (DESIGN.md); without it the sparse synthetic instances
         # route every class at ratio ~1.00.
         router = GlobalRouter(chip, phases=10, seed=1, capacity_scale=0.3)
-        result = router.run()
+        with bench_observability():
+            result = router.run()
+            for name, value in obs_work_counters(f"{spec.name}.").items():
+                work[name] = work.get(name, 0) + value
         graph = router.graph
         for net in chip.nets:
             if net.name not in result.routes:
@@ -73,11 +82,11 @@ def _collect():
                     per_class[name][0] += routed
                     per_class[name][1] += lower
                     break
-    return per_class
+    return per_class, work
 
 
 def test_table2_steiner_ratios(benchmark):
-    per_class = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    per_class, work = benchmark.pedantic(_collect, rounds=1, iterations=1)
     rows = []
     measured = {}
     for name, _pred in CLASSES:
@@ -94,6 +103,11 @@ def test_table2_steiner_ratios(benchmark):
         rows,
     )
     benchmark.extra_info["ratios"] = measured
+    for name, _pred in CLASSES:
+        routed, lower = per_class[name]
+        work[f"class_{name.replace('-', '_').replace('>', 'gt')}.routed"] = routed
+        work[f"class_{name.replace('-', '_').replace('>', 'gt')}.steiner"] = lower
+    write_bench_record("table2", wall_clock={}, work=work)
     # Reproduction shape: every class stays far below Algorithm 1's
     # 2 - 2/|W| worst case (the paper's central claim for Table II), and
     # the quantized baseline makes every ratio >= 1.

@@ -13,7 +13,12 @@ runtime split.
 
 import pytest
 
-from benchmarks.common import print_table
+from benchmarks.common import (
+    bench_observability,
+    obs_work_counters,
+    print_table,
+    write_bench_record,
+)
 from repro.baseline.isr_global import IsrGlobalRouter
 from repro.chip.generator import ChipSpec, generate_chip
 from repro.groute.router import GlobalRouter
@@ -36,12 +41,16 @@ def _run_all():
     sums = {"br_time": 0.0, "alg2": 0.0, "rr": 0.0, "isr_time": 0.0,
             "steiner": 0, "br_net": 0, "isr_net": 0, "br_vias": 0,
             "isr_vias": 0}
+    work = {}
     for spec in TABLE3_SPECS:
         chip = generate_chip(spec)
         br_router = GlobalRouter(
             chip, phases=10, seed=1, capacity_scale=CAPACITY_SCALE
         )
-        br = br_router.run()
+        with bench_observability():
+            br = br_router.run()
+            for name, value in obs_work_counters("br.").items():
+                work[name] = work.get(name, 0) + value
         # Same chip, same (congestion-scaled) capacities for ISR.
         isr = IsrGlobalRouter(chip, graph=br_router.graph).run()
         lower = sum(
@@ -68,11 +77,11 @@ def _run_all():
         sums["isr_net"] += isr.wire_length()
         sums["br_vias"] += br.via_count()
         sums["isr_vias"] += isr.via_count()
-    return rows, sums
+    return rows, sums, work
 
 
 def test_table3_global_routing(benchmark):
-    rows, sums = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows, sums, work = benchmark.pedantic(_run_all, rounds=1, iterations=1)
     rows.append([
         "SUM",
         f"{sums['br_time']:.2f} ({sums['alg2']:.2f}/{sums['rr']:.2f})",
@@ -87,6 +96,17 @@ def test_table3_global_routing(benchmark):
         rows,
     )
     benchmark.extra_info["sums"] = sums
+    work.update({
+        "br.netlength": sums["br_net"], "br.vias": sums["br_vias"],
+        "isr.netlength": sums["isr_net"], "isr.vias": sums["isr_vias"],
+        "steiner_bound": sums["steiner"],
+    })
+    write_bench_record(
+        "table3",
+        wall_clock={"br.time_s": sums["br_time"], "br.alg2_s": sums["alg2"],
+                    "br.ripup_s": sums["rr"], "isr.time_s": sums["isr_time"]},
+        work=work,
+    )
     # Reproduction shape checks.
     assert sums["br_net"] <= sums["isr_net"] * 1.05, (
         "BR-global netlength must stay at or below ISR-global's level"

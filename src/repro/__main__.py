@@ -6,13 +6,15 @@ Commands:
 * ``route`` — run the BonnRoute flow (or the ISR baseline) on a chip
   file and write the routes;
 * ``drc`` — check a routed chip and print the violation summary;
-* ``render`` — ASCII-render one layer of a routed chip.
+* ``render`` / ``viz`` — ASCII-render one layer of a routed chip
+  (``viz`` additionally takes a ``--window`` clip rectangle).
 
 Observability (docs/OBSERVABILITY.md): ``route --obs`` prints the
 end-of-run span/counter summary, ``--trace-out PATH`` additionally
 streams the JSONL trace (validate with ``python -m repro.obs``),
-and ``--heatmap-out PATH`` exports the global-routing congestion
-heatmap.
+``--heatmap-out PATH`` exports the global-routing congestion heatmap,
+and ``--report-out PATH`` writes the standalone HTML report (span
+waterfall, heatmap, track utilization, histograms — inline SVG).
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     from repro.obs import OBS, JsonlTraceSink
 
     chip = read_chip_file(args.chip)
-    if args.trace_out or args.obs:
+    if args.trace_out or args.obs or args.report_out:
         sink = None
         if args.trace_out:
             sink = JsonlTraceSink(
@@ -111,6 +113,16 @@ def _cmd_route(args: argparse.Namespace) -> int:
             f"max utilization {heatmap['max_utilization']:.2f}) "
             f"written to {args.heatmap_out}"
         )
+    if args.report_out:
+        from repro.obs.report import write_route_report
+
+        write_route_report(
+            args.report_out,
+            result,
+            OBS,
+            meta={"chip": chip.name, "flow": args.flow, "seed": args.seed},
+        )
+        print(f"report written to {args.report_out}")
     print(f"routes written to {args.output}")
     return 0 if result.detailed_result.failed == set() else 1
 
@@ -135,6 +147,26 @@ def _cmd_drc(args: argparse.Namespace) -> int:
     return 0 if report.error_count == 0 else 1
 
 
+def _parse_window(spec: str):
+    from repro.geometry.rect import Rect
+
+    parts = spec.split(",")
+    if len(parts) != 4:
+        raise ValueError(
+            f"--window wants X_LO,Y_LO,X_HI,Y_HI (four integers), got {spec!r}"
+        )
+    try:
+        x_lo, y_lo, x_hi, y_hi = (int(part) for part in parts)
+    except ValueError:
+        raise ValueError(f"--window coordinates must be integers, got {spec!r}")
+    if x_hi <= x_lo or y_hi <= y_lo:
+        raise ValueError(
+            f"--window must span a non-empty area (x_lo < x_hi, "
+            f"y_lo < y_hi), got {spec!r}"
+        )
+    return Rect(x_lo, y_lo, x_hi, y_hi)
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.droute.space import RoutingSpace
     from repro.viz import render_layer
@@ -147,7 +179,15 @@ def _cmd_render(args: argparse.Namespace) -> int:
                 space.add_wire(route.net_name, type_name, stick, level)
             for via, level, type_name in route.via_items():
                 space.add_via(route.net_name, type_name, via, level)
-    print(render_layer(space, args.layer, width=args.width))
+    window = None
+    try:
+        if getattr(args, "window", None):
+            window = _parse_window(args.window)
+        rendering = render_layer(space, args.layer, width=args.width, window=window)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(rendering)
     return 0
 
 
@@ -210,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the global-routing congestion heatmap "
         "(edge usage/capacity/utilization JSON) to PATH",
     )
+    route.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="enable observability and write a standalone HTML report "
+        "(span waterfall, congestion heatmap, track utilization, "
+        "histograms) to PATH",
+    )
     route.set_defaults(func=_cmd_route)
 
     drc = sub.add_parser("drc", help="check a routed chip")
@@ -224,6 +270,20 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--layer", type=int, default=1)
     render.add_argument("--width", type=int, default=100)
     render.set_defaults(func=_cmd_render)
+
+    viz = sub.add_parser(
+        "viz",
+        help="ASCII-render one layer, optionally clipped to a window",
+    )
+    viz.add_argument("chip")
+    viz.add_argument("--routes", default=None)
+    viz.add_argument("--layer", type=int, default=1)
+    viz.add_argument("--width", type=int, default=100)
+    viz.add_argument(
+        "--window", default=None, metavar="X_LO,Y_LO,X_HI,Y_HI",
+        help="clip the rendering to this die rectangle (dbu)",
+    )
+    viz.set_defaults(func=_cmd_render)
     return parser
 
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.chip.design import Chip
 from repro.drc.checker import DrcChecker, DrcReport
 from repro.droute.space import RoutingSpace
+from repro.obs import OBS
 from repro.steiner.rsmt import steiner_length
 
 #: Minimum routed length for a net to count as scenic, in dbu.  The paper
@@ -27,23 +28,44 @@ def net_route_length(space: RoutingSpace, net_name: str) -> int:
     return route.wire_length if route is not None else 0
 
 
+def net_detours(space: RoutingSpace) -> List[Tuple[str, int, int]]:
+    """Per routed net: ``(name, routed_length, steiner_baseline)``.
+
+    One Steiner evaluation per net, shared by both scenic thresholds and
+    the observability histograms.  Nets without wiring or with a
+    degenerate (<= 0) baseline are skipped.
+    """
+    out: List[Tuple[str, int, int]] = []
+    for net in space.chip.nets:
+        routed = net_route_length(space, net.name)
+        if routed <= 0:
+            continue
+        baseline = steiner_length(net.terminal_points())
+        if baseline <= 0:
+            continue
+        out.append((net.name, routed, baseline))
+    return out
+
+
+def _scenic_from_detours(
+    detours: Sequence[Tuple[str, int, int]],
+    threshold: float,
+    length_threshold: int = SCENIC_LENGTH_THRESHOLD,
+) -> List[str]:
+    return [
+        name
+        for name, routed, baseline in detours
+        if routed >= length_threshold and routed >= (1.0 + threshold) * baseline
+    ]
+
+
 def scenic_nets(
     space: RoutingSpace,
     threshold: float,
     length_threshold: int = SCENIC_LENGTH_THRESHOLD,
 ) -> List[str]:
     """Nets with routed length >= length_threshold and detour >= threshold."""
-    out = []
-    for net in space.chip.nets:
-        routed = net_route_length(space, net.name)
-        if routed < length_threshold:
-            continue
-        baseline = steiner_length(net.terminal_points())
-        if baseline <= 0:
-            continue
-        if routed >= (1.0 + threshold) * baseline:
-            out.append(net.name)
-    return out
+    return _scenic_from_detours(net_detours(space), threshold, length_threshold)
 
 
 class FlowMetrics:
@@ -129,8 +151,15 @@ def collect_metrics(
     metrics.memory_mb = peak_memory_mb()
     metrics.netlength = space.total_wire_length()
     metrics.vias = space.total_via_count()
-    metrics.scenic_25 = len(scenic_nets(space, 0.25))
-    metrics.scenic_50 = len(scenic_nets(space, 0.50))
+    detours = net_detours(space)
+    metrics.scenic_25 = len(_scenic_from_detours(detours, 0.25))
+    metrics.scenic_50 = len(_scenic_from_detours(detours, 0.50))
+    if OBS.enabled:
+        # Per-net distributions for the HTML report (``--report-out``):
+        # routed length in dbu and detour ratio over the Steiner baseline.
+        for _name, routed, baseline in detours:
+            OBS.observe("flow.net_length_dbu", routed)
+            OBS.observe("flow.net_detour_ratio", routed / baseline)
     if drc_report is None:
         drc_report = DrcChecker(space).run()
     metrics.drc_report = drc_report

@@ -9,7 +9,13 @@ Three pieces:
   the end-of-run CLI summary table, and a congestion heatmap export
   keyed by global-routing edge usage (``--heatmap-out``);
 * the schema (:mod:`repro.obs.schema`) — the documented trace format
-  and its validator (``python -m repro.obs.schema TRACE.jsonl``).
+  and its validator (``python -m repro.obs.schema TRACE.jsonl``);
+* reports (:mod:`repro.obs.report`) — the standalone HTML report
+  generator behind ``route --report-out`` (span waterfall, congestion
+  heatmap, track utilization, histograms — inline SVG, no deps);
+* the regression gate (:mod:`repro.obs.regress`) — ``python -m
+  repro.obs.regress BASELINE.json CURRENT.json`` compares persisted
+  ``BENCH_*.json`` records and fails CI on work-counter drift.
 
 ``OBS`` is the process-wide singleton every instrumentation site uses.
 It starts disabled; while disabled each site costs one boolean check
@@ -34,6 +40,7 @@ from repro.obs.schema import (
 from repro.obs.sinks import (
     JsonlTraceSink,
     congestion_heatmap,
+    heatmap_layers,
     write_congestion_heatmap,
 )
 
@@ -48,6 +55,7 @@ __all__ = [
     "Histogram",
     "JsonlTraceSink",
     "congestion_heatmap",
+    "heatmap_layers",
     "write_congestion_heatmap",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",

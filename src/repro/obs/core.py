@@ -30,15 +30,26 @@ NAME_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789_."
 
 
 class Histogram:
-    """Streaming summary of an observed distribution (no buckets kept)."""
+    """Streaming summary of an observed distribution.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    Aggregates (count/total/min/max) are exact for every sample; the
+    first :attr:`MAX_SAMPLES` raw values are additionally retained so
+    report renderers (``repro.obs.report``) can bucket a real
+    distribution without the registry ever growing unboundedly.  The
+    retained prefix is deterministic — same run, same samples.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples")
+
+    #: Raw values retained per histogram (aggregation stays exact beyond).
+    MAX_SAMPLES = 4096
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self.samples: List[float] = []
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -47,6 +58,8 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if len(self.samples) < self.MAX_SAMPLES:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,561 @@
+"""Self-contained HTML routing reports (``route --report-out``).
+
+Renders one standalone HTML file — inline CSS, inline SVG, zero
+dependencies, no external resources — with four sections:
+
+* **span waterfall** — every span of the trace as a horizontal bar on a
+  shared time axis, indented by nesting depth (the per-stage runtime
+  picture of Table I's time column);
+* **congestion heatmap** — the :func:`repro.obs.sinks.congestion_heatmap`
+  export rasterized per layer (:func:`repro.obs.sinks.heatmap_layers`)
+  and colored white→red by utilization;
+* **track utilization** — per-layer routed wire length over the track
+  plan's usable track length (Sec. 3.5);
+* **histograms** — bucketed bars from the registry's retained samples
+  (``flow.net_length_dbu``, ``flow.net_detour_ratio``,
+  ``pathsearch.labels_per_search`` …), falling back to the
+  count/mean/min/max stat row when only a trace summary is available.
+
+Two entry points: the CLI builds a report from the live run
+(``python -m repro route … --report-out report.html``), and
+``python -m repro.obs.report TRACE.jsonl [--heatmap H.json] -o OUT``
+rebuilds one offline from persisted artifacts (the CI upload path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.sinks import heatmap_layers
+
+#: Maximum spans drawn in the waterfall; the longest are kept so huge
+#: traces stay renderable (the cut is reported in the section header).
+MAX_WATERFALL_SPANS = 400
+
+_STAGE_COLORS = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#9c755f",
+]
+
+
+def _escape(text: object) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _color_for(name: str, palette: Dict[str, str]) -> str:
+    key = name.split(".")[0]
+    if key not in palette:
+        palette[key] = _STAGE_COLORS[len(palette) % len(_STAGE_COLORS)]
+    return palette[key]
+
+
+def _heat_color(value: float) -> str:
+    """White (0) → red (>= 1) ramp; overload saturates dark red."""
+    clamped = max(0.0, min(value, 1.0))
+    channel = int(round(255 * (1.0 - clamped)))
+    if value > 1.0:
+        return "#8b0000"
+    return f"#ff{channel:02x}{channel:02x}"
+
+
+# ----------------------------------------------------------------------
+# Trace input
+# ----------------------------------------------------------------------
+def load_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file; malformed lines are skipped."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def records_from_observer(observer) -> List[Dict[str, object]]:
+    """The same record stream a JsonlTraceSink would have written."""
+    records: List[Dict[str, object]] = [
+        span.as_record() for span in observer.spans
+    ]
+    summary: Dict[str, object] = {"type": "summary"}
+    summary.update(observer.summary())
+    records.append(summary)
+    return records
+
+
+def _spans(records: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [r for r in records if r.get("type") == "span"]
+
+
+def _summary(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    for record in reversed(records):
+        if record.get("type") == "summary":
+            return record
+    return {}
+
+
+# ----------------------------------------------------------------------
+# Track utilization
+# ----------------------------------------------------------------------
+def track_utilization(space) -> List[Dict[str, object]]:
+    """Per-layer routed length over usable track length.
+
+    Duck-typed over a :class:`~repro.droute.space.RoutingSpace`: needs
+    ``chip.stack.indices``, ``track_plan`` and ``routes``.  Utilization
+    can exceed 1.0 when off-track wiring outruns the plan — the report
+    flags that rather than clamping it.
+    """
+    routed: Dict[int, int] = {}
+    for route in space.routes.values():
+        for stick, _level, _type in route.wire_items():
+            routed[stick.layer] = routed.get(stick.layer, 0) + stick.length
+    rows: List[Dict[str, object]] = []
+    plan = space.track_plan
+    for layer in space.chip.stack.indices:
+        usable = plan.usable_track_length(layer)
+        length = routed.get(layer, 0)
+        rows.append(
+            {
+                "layer": layer,
+                "name": f"M{layer}",
+                "tracks": len(plan.layer_tracks(layer)),
+                "routed_dbu": length,
+                "usable_dbu": usable,
+                "utilization": (length / usable) if usable > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# SVG sections
+# ----------------------------------------------------------------------
+def _svg_waterfall(spans: List[Dict[str, object]]) -> Tuple[str, str]:
+    """(note, svg) for the span waterfall."""
+    if not spans:
+        return "no spans recorded", ""
+    drawn = sorted(spans, key=lambda s: (s.get("start", 0.0), s.get("depth", 0)))
+    note = f"{len(drawn)} spans"
+    if len(drawn) > MAX_WATERFALL_SPANS:
+        keep = set(
+            id(s)
+            for s in sorted(drawn, key=lambda s: -float(s.get("dur", 0.0)))[
+                :MAX_WATERFALL_SPANS
+            ]
+        )
+        drawn = [s for s in drawn if id(s) in keep]
+        note = (
+            f"{len(spans)} spans, showing the {MAX_WATERFALL_SPANS} longest"
+        )
+    t_end = max(
+        float(s.get("start", 0.0)) + float(s.get("dur", 0.0)) for s in drawn
+    )
+    t_end = max(t_end, 1e-9)
+    width, row_h, label_w = 900, 18, 260
+    height = row_h * len(drawn) + 30
+    palette: Dict[str, str] = {}
+    parts = [
+        f'<svg class="waterfall" xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width + label_w}" height="{height}" '
+        f'viewBox="0 0 {width + label_w} {height}" role="img">'
+    ]
+    # Time axis with four gridlines.
+    for i in range(5):
+        x = label_w + width * i / 4
+        t = t_end * i / 4
+        parts.append(
+            f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" y2="{height - 20}" '
+            f'stroke="#ddd" stroke-width="1"/>'
+            f'<text x="{x:.1f}" y="{height - 6}" font-size="11" '
+            f'fill="#666" text-anchor="middle">{t:.3f}s</text>'
+        )
+    for row, span in enumerate(drawn):
+        name = str(span.get("name", "?"))
+        start = float(span.get("start", 0.0))
+        duration = float(span.get("dur", 0.0))
+        depth = int(span.get("depth", 0))
+        y = row * row_h
+        x = label_w + width * start / t_end
+        bar = max(1.0, width * duration / t_end)
+        attrs = span.get("attrs") or {}
+        title = _escape(
+            f"{name} start={start:.4f}s dur={duration:.4f}s "
+            + " ".join(f"{k}={v}" for k, v in attrs.items())
+        )
+        label = _escape(("  " * depth) + name)
+        parts.append(
+            f'<text x="4" y="{y + 13}" font-size="11" fill="#333">{label}</text>'
+            f'<rect class="span" data-name="{_escape(name)}" x="{x:.1f}" '
+            f'y="{y + 3}" width="{bar:.1f}" height="{row_h - 6}" '
+            f'fill="{_color_for(name, palette)}" fill-opacity="0.85">'
+            f"<title>{title}</title></rect>"
+        )
+    parts.append("</svg>")
+    return note, "".join(parts)
+
+
+def _svg_heatmap(heatmap: Dict[str, object]) -> Tuple[str, str]:
+    """(note, svg) for the per-layer congestion grids."""
+    grids = heatmap_layers(heatmap)
+    if not grids:
+        return "no used global-routing edges", ""
+    nx, ny = heatmap["tiles"]
+    cell = max(6, min(26, 360 // max(nx, ny)))
+    pad, title_h = 14, 18
+    layer_w = nx * cell + pad
+    height = ny * cell + title_h + 24
+    width = layer_w * len(grids) + 120
+    parts = [
+        f'<svg class="heatmap" xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+    ]
+    for index, (layer, grid) in enumerate(sorted(grids.items())):
+        x0 = index * layer_w
+        parts.append(
+            f'<text x="{x0}" y="12" font-size="12" fill="#333">'
+            f"M{layer}</text>"
+        )
+        for ty in range(ny):
+            for tx in range(nx):
+                value = grid[ty][tx]
+                # Row 0 is the bottom of the die; SVG y grows downward.
+                y = title_h + (ny - 1 - ty) * cell
+                parts.append(
+                    f'<rect x="{x0 + tx * cell}" y="{y}" width="{cell}" '
+                    f'height="{cell}" fill="{_heat_color(value)}" '
+                    f'stroke="#eee" stroke-width="0.5">'
+                    f"<title>tile ({tx},{ty}) M{layer}: "
+                    f"utilization {value:.2f}</title></rect>"
+                )
+    # Legend.
+    lx = layer_w * len(grids) + 10
+    for i, value in enumerate((0.0, 0.25, 0.5, 0.75, 1.0)):
+        parts.append(
+            f'<rect x="{lx}" y="{title_h + i * 16}" width="14" height="14" '
+            f'fill="{_heat_color(value)}" stroke="#ccc" stroke-width="0.5"/>'
+            f'<text x="{lx + 20}" y="{title_h + i * 16 + 11}" font-size="11" '
+            f'fill="#666">{value:.2f}</text>'
+        )
+    parts.append("</svg>")
+    note = (
+        f"chip {heatmap.get('chip', '?')}, {nx}x{ny} tiles, "
+        f"max utilization {float(heatmap.get('max_utilization', 0.0)):.2f}"
+    )
+    return note, "".join(parts)
+
+
+def _svg_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    titles: Sequence[str],
+    css_class: str,
+    unit: str = "",
+) -> str:
+    """Generic horizontal bar chart (track utilization, histograms)."""
+    if not values:
+        return ""
+    peak = max(max(values), 1e-9)
+    width, row_h, label_w = 560, 18, 150
+    height = row_h * len(values) + 6
+    parts = [
+        f'<svg class="{css_class}" xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width + label_w + 90}" height="{height}" '
+        f'viewBox="0 0 {width + label_w + 90} {height}" role="img">'
+    ]
+    for row, (label, value, title) in enumerate(zip(labels, values, titles)):
+        y = row * row_h
+        bar = width * value / peak
+        color = "#c0392b" if css_class == "tracks" and value > 1.0 else "#4e79a7"
+        parts.append(
+            f'<text x="4" y="{y + 13}" font-size="11" fill="#333">'
+            f"{_escape(label)}</text>"
+            f'<rect x="{label_w}" y="{y + 3}" width="{max(bar, 1.0):.1f}" '
+            f'height="{row_h - 6}" fill="{color}" fill-opacity="0.85">'
+            f"<title>{_escape(title)}</title></rect>"
+            f'<text x="{label_w + width + 6}" y="{y + 13}" font-size="11" '
+            f'fill="#666">{value:.3g}{unit}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _bucket(samples: Sequence[float], buckets: int = 12) -> List[Tuple[float, float, int]]:
+    """(lo, hi, count) bins over [min, max]; one bin for constant data."""
+    lo, hi = min(samples), max(samples)
+    if hi <= lo:
+        return [(lo, hi, len(samples))]
+    counts = [0] * buckets
+    span = hi - lo
+    for value in samples:
+        index = min(buckets - 1, int((value - lo) / span * buckets))
+        counts[index] += 1
+    return [
+        (lo + span * i / buckets, lo + span * (i + 1) / buckets, count)
+        for i, count in enumerate(counts)
+    ]
+
+
+def _svg_histogram(name: str, data: Dict[str, object]) -> str:
+    samples = data.get("samples") or []
+    if not samples:
+        return ""
+    bins = _bucket([float(s) for s in samples])
+    labels = [f"{lo:.3g}..{hi:.3g}" for lo, hi, _count in bins]
+    values = [float(count) for _lo, _hi, count in bins]
+    titles = [
+        f"{name}: {count} samples in [{lo:.4g}, {hi:.4g})"
+        for lo, hi, count in bins
+    ]
+    return _svg_bars(labels, values, titles, "histogram")
+
+
+# ----------------------------------------------------------------------
+# HTML assembly
+# ----------------------------------------------------------------------
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 2em auto; max-width: 1100px; color: #222; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #4e79a7; padding-bottom: .3em; }
+h2 { font-size: 1.1em; margin-top: 1.6em; }
+p.note { color: #666; font-size: .9em; }
+table.meta { border-collapse: collapse; font-size: .9em; }
+table.meta td { border: 1px solid #ddd; padding: .25em .6em; }
+table.stats { border-collapse: collapse; font-size: .85em; margin: .4em 0; }
+table.stats td, table.stats th { border: 1px solid #ddd; padding: .2em .5em;
+                                 text-align: right; }
+table.stats th { background: #f4f6f8; }
+svg { display: block; margin: .4em 0; }
+"""
+
+
+def _meta_table(meta: Dict[str, object]) -> str:
+    if not meta:
+        return ""
+    cells = "".join(
+        f"<tr><td>{_escape(key)}</td><td>{_escape(value)}</td></tr>"
+        for key, value in meta.items()
+    )
+    return f'<table class="meta">{cells}</table>'
+
+
+def _histogram_stats_table(histograms: Dict[str, Dict[str, object]]) -> str:
+    if not histograms:
+        return ""
+    rows = []
+    for name, data in sorted(histograms.items()):
+        rows.append(
+            "<tr>"
+            f'<th style="text-align:left">{_escape(name)}</th>'
+            f"<td>{int(data.get('count', 0))}</td>"
+            f"<td>{float(data.get('mean', 0.0)):.4g}</td>"
+            f"<td>{float(data.get('min', 0.0)):.4g}</td>"
+            f"<td>{float(data.get('max', 0.0)):.4g}</td>"
+            "</tr>"
+        )
+    return (
+        '<table class="stats"><tr><th>histogram</th><th>count</th>'
+        "<th>mean</th><th>min</th><th>max</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+def build_report(
+    title: str,
+    trace_records: Optional[Sequence[Dict[str, object]]] = None,
+    heatmap: Optional[Dict[str, object]] = None,
+    track_rows: Optional[List[Dict[str, object]]] = None,
+    histograms: Optional[Dict[str, Dict[str, object]]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Assemble the standalone HTML document; every section optional.
+
+    ``histograms`` maps name -> dict with ``count``/``mean``/``min``/
+    ``max`` and optionally ``samples`` (bars are only drawn with
+    samples).  When ``histograms`` is None they are recovered from the
+    trace's summary record (stat rows only — a persisted trace carries
+    no raw samples).
+    """
+    records = list(trace_records or [])
+    spans = _spans(records)
+    summary = _summary(records)
+    if histograms is None:
+        histograms = {
+            name: dict(data)
+            for name, data in (summary.get("histograms") or {}).items()
+            if isinstance(data, dict)
+        }
+    sections: List[str] = []
+
+    note, svg = _svg_waterfall(spans)
+    sections.append(f'<h2>Span waterfall</h2><p class="note">{_escape(note)}</p>')
+    if svg:
+        sections.append(svg)
+
+    sections.append("<h2>Congestion heatmap</h2>")
+    if heatmap is not None:
+        note, svg = _svg_heatmap(heatmap)
+        sections.append(f'<p class="note">{_escape(note)}</p>')
+        if svg:
+            sections.append(svg)
+    else:
+        sections.append(
+            '<p class="note">no heatmap attached '
+            "(route with --heatmap-out and pass it to the report)</p>"
+        )
+
+    sections.append("<h2>Per-layer track utilization</h2>")
+    if track_rows:
+        labels = [str(row["name"]) for row in track_rows]
+        values = [float(row["utilization"]) for row in track_rows]
+        titles = [
+            f"{row['name']}: {row['routed_dbu']} dbu routed over "
+            f"{row['usable_dbu']} dbu usable on {row['tracks']} tracks"
+            for row in track_rows
+        ]
+        sections.append(_svg_bars(labels, values, titles, "tracks"))
+        if any(value > 1.0 for value in values):
+            sections.append(
+                '<p class="note">utilization &gt; 1.0 means off-track '
+                "wiring exceeds the optimized track plan on that layer</p>"
+            )
+    else:
+        sections.append(
+            '<p class="note">not available from a trace file alone '
+            "(generated by route --report-out)</p>"
+        )
+
+    sections.append("<h2>Histograms</h2>")
+    if histograms:
+        sections.append(_histogram_stats_table(histograms))
+        for name in sorted(histograms):
+            svg = _svg_histogram(name, histograms[name])
+            if svg:
+                sections.append(
+                    f'<h3 style="font-size:.95em">{_escape(name)}</h3>{svg}'
+                )
+    else:
+        sections.append('<p class="note">no histograms recorded</p>')
+
+    counters = summary.get("counters") or {}
+    if counters:
+        rows = "".join(
+            f'<tr><th style="text-align:left">{_escape(name)}</th>'
+            f"<td>{_escape(value)}</td></tr>"
+            for name, value in sorted(counters.items())
+        )
+        sections.append(
+            "<h2>Work counters</h2>"
+            f'<table class="stats"><tr><th>counter</th><th>value</th></tr>'
+            f"{rows}</table>"
+        )
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_escape(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{_escape(title)}</h1>"
+        f"{_meta_table(meta or {})}"
+        f"{''.join(sections)}"
+        "</body></html>\n"
+    )
+
+
+def histograms_from_observer(observer) -> Dict[str, Dict[str, object]]:
+    """Registry histograms with their retained samples attached."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name, histogram in observer.histograms.items():
+        data = histogram.as_dict()
+        data["samples"] = list(histogram.samples)
+        out[name] = data
+    return out
+
+
+def write_route_report(
+    path: str,
+    result,
+    observer,
+    title: Optional[str] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Build and write the report for one finished flow run."""
+    from repro.obs.sinks import congestion_heatmap
+
+    heatmap = None
+    if getattr(result, "global_result", None) is not None:
+        heatmap = congestion_heatmap(result.global_result)
+    track_rows = (
+        track_utilization(result.space) if result.space is not None else None
+    )
+    html = build_report(
+        title or f"Routing report: {result.chip.name}",
+        trace_records=records_from_observer(observer),
+        heatmap=heatmap,
+        track_rows=track_rows,
+        histograms=histograms_from_observer(observer),
+        meta=meta,
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    return html
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Rebuild a routing report from persisted artifacts",
+    )
+    parser.add_argument("trace", help="JSONL trace file (--trace-out)")
+    parser.add_argument(
+        "--heatmap", default=None, help="congestion heatmap JSON (--heatmap-out)"
+    )
+    parser.add_argument("-o", "--output", default="report.html")
+    parser.add_argument("--title", default=None)
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_trace(args.trace)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    heatmap = None
+    if args.heatmap:
+        try:
+            with open(args.heatmap, "r", encoding="utf-8") as handle:
+                heatmap = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read heatmap: {error}", file=sys.stderr)
+            return 2
+    meta = next((r for r in records if r.get("type") == "meta"), {})
+    context = {
+        key: value
+        for key, value in meta.items()
+        if key not in ("type", "schema", "version")
+    }
+    html = build_report(
+        args.title or f"Routing report: {context.get('chip', args.trace)}",
+        trace_records=records,
+        heatmap=heatmap,
+        meta=context,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

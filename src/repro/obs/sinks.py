@@ -95,6 +95,36 @@ def congestion_heatmap(global_result) -> Dict[str, object]:
     }
 
 
+def heatmap_layers(heatmap: Dict[str, object]) -> Dict[int, List[List[float]]]:
+    """Rasterize a :func:`congestion_heatmap` dict into per-layer grids.
+
+    Returns ``{layer: grid}`` where ``grid[ty][tx]`` is the maximum
+    utilization over the edges incident to tile ``(tx, ty)`` on that
+    layer; via edges (between layers z and z+1) contribute to both.
+    Only layers touched by at least one used edge appear.  This is the
+    plottable form of the heatmap — the HTML report colors each tile by
+    it — and replaces eyeballing the raw edge list.
+    """
+    nx, ny = heatmap["tiles"]
+    grids: Dict[int, List[List[float]]] = {}
+
+    def tile(layer: int, tx: int, ty: int, value: float) -> None:
+        grid = grids.get(layer)
+        if grid is None:
+            grid = [[0.0] * nx for _ in range(ny)]
+            grids[layer] = grid
+        if 0 <= tx < nx and 0 <= ty < ny and value > grid[ty][tx]:
+            grid[ty][tx] = value
+
+    for edge in heatmap["edges"]:
+        (ax, ay, az) = edge["a"]
+        (bx, by, bz) = edge["b"]
+        utilization = float(edge["utilization"])
+        tile(az, ax, ay, utilization)
+        tile(bz, bx, by, utilization)
+    return grids
+
+
 def write_congestion_heatmap(global_result, path: str) -> Dict[str, object]:
     """Serialize :func:`congestion_heatmap` to ``path``; returns the dict."""
     heatmap = congestion_heatmap(global_result)

@@ -33,6 +33,12 @@ def render_layer(
     terminal with ~2:1 character cells.
     """
     chip = space.chip
+    wiring_layers = chip.stack.indices
+    if layer not in wiring_layers:
+        raise ValueError(
+            f"layer M{layer} is not a wiring layer of {chip.name}; "
+            f"valid layers: M{wiring_layers[0]}..M{wiring_layers[-1]}"
+        )
     if window is None:
         window = chip.die
     scale = max(1, window.width // max(width, 1))

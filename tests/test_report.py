@@ -1,0 +1,288 @@
+"""Tests for the HTML report generator, the heatmap rasterizer, the
+trace-schema validator's edge cases, and the ``repro viz`` subcommand.
+
+The report golden-structure test asserts what a consumer relies on:
+every SVG block is well-formed XML, all stage spans appear in the
+waterfall, and the heatmap / track / histogram sections are present.
+"""
+
+import json
+import re
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.flow.bonnroute import BonnRouteFlow
+from repro.io.textformat import write_chip_file
+from repro.obs import (
+    OBS,
+    congestion_heatmap,
+    heatmap_layers,
+    validate_trace_file,
+    validate_trace_lines,
+)
+from repro.obs.report import (
+    build_report,
+    load_trace,
+    records_from_observer,
+    track_utilization,
+    write_route_report,
+)
+
+SPEC = ChipSpec("reptest", rows=2, row_width_cells=4, net_count=6, seed=3)
+
+_META = json.dumps({"type": "meta", "schema": "repro-trace", "version": 1})
+_SUMMARY = json.dumps(
+    {"type": "summary", "counters": {}, "gauges": {}, "histograms": {},
+     "spans": {}}
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_singleton():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    OBS.reset()
+    OBS.enabled = False
+
+
+@pytest.fixture(scope="module")
+def br_result():
+    # The flow instruments the OBS singleton, so configure it for this
+    # module-scoped fixture and snapshot what the report needs before
+    # the function-scoped cleaner resets it.
+    OBS.reset()
+    OBS.configure(enabled=True)
+    result = BonnRouteFlow(generate_chip(SPEC), gr_phases=6, seed=1).run()
+    records = records_from_observer(OBS)
+    from repro.obs.report import histograms_from_observer
+
+    histograms = histograms_from_observer(OBS)
+    OBS.reset()
+    OBS.enabled = False
+    return result, records, histograms
+
+
+def _svg_blocks(html):
+    return re.findall(r"<svg.*?</svg>", html, re.S)
+
+
+class TestSchemaEdgeCases:
+    def test_empty_trace_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        errors = validate_trace_file(str(path))
+        assert any("empty" in error for error in errors)
+
+    def test_unknown_record_type(self):
+        unknown = json.dumps({"type": "wormhole", "name": "x"})
+        errors = validate_trace_lines([_META, unknown, _SUMMARY])
+        assert any("unknown record type 'wormhole'" in e for e in errors)
+
+    def test_unknown_event_name_characters(self):
+        event = json.dumps({"type": "event", "name": "Bad Name", "t": 0.0})
+        errors = validate_trace_lines([_META, event, _SUMMARY])
+        assert any("invalid event name" in e for e in errors)
+
+    def test_truncated_final_line(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        # A writer killed mid-record: the summary line is cut short.
+        path.write_text(
+            _META + "\n"
+            + json.dumps({"type": "event", "name": "a.b", "t": 0.1}) + "\n"
+            + _SUMMARY[: len(_SUMMARY) // 2] + "\n"
+        )
+        errors = validate_trace_file(str(path))
+        assert any("invalid JSON" in e for e in errors)
+        assert any("summary" in e for e in errors)
+
+    def test_load_trace_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(_META + "\n{truncat\n" + _SUMMARY + "\n")
+        records = load_trace(str(path))
+        assert [r["type"] for r in records] == ["meta", "summary"]
+
+
+class TestHeatmap:
+    def test_zero_capacity_edge_reports_raw_usage(self):
+        class _Graph:
+            tile_size = 10
+            nx = 2
+            ny = 1
+
+            def capacity(self, edge):
+                return 0.0
+
+        class _Route:
+            edges = {(((0, 0, 1), (1, 0, 1)))}
+
+        class _Result:
+            graph = _Graph()
+            routes = {"n1": _Route(), "n2": _Route()}
+
+            class chip:
+                name = "synthetic"
+
+        heatmap = congestion_heatmap(_Result())
+        assert heatmap["edges"][0]["usage"] == 2
+        assert heatmap["edges"][0]["utilization"] == 2.0
+        assert heatmap["max_utilization"] == 2.0
+
+    def test_heatmap_layers_rasterization(self):
+        heatmap = {
+            "tiles": [3, 2],
+            "edges": [
+                # Planar edge on layer 1.
+                {"a": [0, 0, 1], "b": [1, 0, 1], "utilization": 0.5},
+                # Via edge between layers 1 and 2 at tile (2, 1).
+                {"a": [2, 1, 1], "b": [2, 1, 2], "utilization": 0.9},
+                # Second edge at an already-painted tile: max wins.
+                {"a": [0, 0, 1], "b": [0, 1, 1], "utilization": 0.2},
+            ],
+        }
+        grids = heatmap_layers(heatmap)
+        assert sorted(grids) == [1, 2]
+        assert grids[1][0][0] == 0.5  # max(0.5, 0.2) at (0,0)
+        assert grids[1][0][1] == 0.5
+        assert grids[1][1][0] == 0.2
+        assert grids[1][1][2] == 0.9  # via contributes to both layers
+        assert grids[2][1][2] == 0.9
+
+    def test_heatmap_layers_on_real_flow(self, br_result):
+        result, _records, _histograms = br_result
+        heatmap = congestion_heatmap(result.global_result)
+        grids = heatmap_layers(heatmap)
+        nx, ny = heatmap["tiles"]
+        for grid in grids.values():
+            assert len(grid) == ny and all(len(row) == nx for row in grid)
+        if heatmap["edges"]:
+            peak = max(v for g in grids.values() for row in g for v in row)
+            assert peak == pytest.approx(heatmap["max_utilization"])
+
+
+class TestReportStructure:
+    def test_golden_structure_from_live_run(self, br_result, tmp_path):
+        result, records, histograms = br_result
+        heatmap = congestion_heatmap(result.global_result)
+        html = build_report(
+            "golden",
+            trace_records=records,
+            heatmap=heatmap,
+            track_rows=track_utilization(result.space),
+            histograms=histograms,
+            meta={"chip": "reptest", "flow": "bonnroute"},
+        )
+        # Standalone: no external fetches of any kind.
+        assert "http://" not in html.replace("http://www.w3.org", "")
+        assert "https://" not in html
+        # Every SVG block is well-formed XML.
+        svgs = _svg_blocks(html)
+        assert len(svgs) >= 3, "waterfall + heatmap + bars expected"
+        for svg in svgs:
+            ET.fromstring(svg)
+        # All stage spans of the flow appear in the waterfall.
+        waterfall = svgs[0]
+        for stage in ("flow.run", "flow.global", "flow.detailed"):
+            assert f'data-name="{stage}"' in waterfall, stage
+        # Section presence.
+        for section in (
+            "Span waterfall", "Congestion heatmap",
+            "Per-layer track utilization", "Histograms", "Work counters",
+        ):
+            assert section in html, section
+        # The registry histograms render as bucketed bars.
+        assert "flow.net_length_dbu" in html
+        assert "flow.net_detour_ratio" in html
+
+    def test_track_utilization_rows(self, br_result):
+        result, _records, _histograms = br_result
+        rows = track_utilization(result.space)
+        layers = [row["layer"] for row in rows]
+        assert layers == result.space.chip.stack.indices
+        total_routed = sum(row["routed_dbu"] for row in rows)
+        assert total_routed == result.space.total_wire_length()
+        for row in rows:
+            assert row["utilization"] >= 0.0
+            assert row["tracks"] >= 0
+
+    def test_report_without_optional_sections(self):
+        html = build_report("bare", trace_records=[])
+        assert "no spans recorded" in html
+        assert "no heatmap attached" in html
+        ET.fromstring("<root>" + "".join(_svg_blocks(html)) + "</root>")
+
+    def test_write_route_report_and_offline_cli(self, br_result, tmp_path):
+        result, _records, _histograms = br_result
+        OBS.reset()
+        OBS.configure(enabled=True)
+        rerun = BonnRouteFlow(generate_chip(SPEC), gr_phases=6, seed=1).run()
+        out = tmp_path / "report.html"
+        html = write_route_report(str(out), rerun, OBS)
+        assert out.read_text() == html
+        assert "Routing report: reptest" in html
+
+    def test_offline_report_from_trace_cli(self, tmp_path):
+        chip_path = str(tmp_path / "chip.txt")
+        write_chip_file(generate_chip(SPEC), chip_path)
+        trace = str(tmp_path / "t.jsonl")
+        heat = str(tmp_path / "h.json")
+        report = str(tmp_path / "r.html")
+        code = main([
+            "route", chip_path, str(tmp_path / "routes.txt"),
+            "--gr-phases", "6", "--seed", "1",
+            "--trace-out", trace, "--heatmap-out", heat,
+        ])
+        assert code in (0, 1)
+        from repro.obs.report import main as report_main
+
+        assert report_main([trace, "--heatmap", heat, "-o", report]) == 0
+        html = Path(report).read_text()
+        for svg in _svg_blocks(html):
+            ET.fromstring(svg)
+        assert 'data-name="flow.run"' in html
+        assert "Congestion heatmap" in html
+        # Offline reports have no live space: stat rows, no track bars.
+        assert "not available from a trace file alone" in html
+
+
+class TestVizCli:
+    @pytest.fixture()
+    def chip_path(self, tmp_path):
+        path = str(tmp_path / "chip.txt")
+        write_chip_file(generate_chip(SPEC), path)
+        return path
+
+    def test_viz_renders_layer(self, chip_path, capsys):
+        assert main(["viz", chip_path, "--layer", "1", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("layer M1")
+
+    def test_viz_window_clips(self, chip_path, capsys):
+        assert main([
+            "viz", chip_path, "--layer", "1", "--width", "40",
+            "--window", "0,0,1000,800",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "window=(0, 0, 1000, 800)" in out
+
+    def test_viz_rejects_out_of_range_layer(self, chip_path, capsys):
+        assert main(["viz", chip_path, "--layer", "42"]) == 2
+        err = capsys.readouterr().err
+        assert "layer M42" in err and "valid layers" in err
+
+    def test_viz_rejects_malformed_window(self, chip_path, capsys):
+        assert main(["viz", chip_path, "--window", "1,2,3"]) == 2
+        assert "--window" in capsys.readouterr().err
+        assert main(["viz", chip_path, "--window", "5,5,1,9"]) == 2
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_render_layer_raises_value_error(self, br_result):
+        from repro.viz import render_layer
+
+        result, _records, _histograms = br_result
+        with pytest.raises(ValueError, match="valid layers"):
+            render_layer(result.space, 99)
