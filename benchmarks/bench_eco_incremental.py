@@ -1,0 +1,179 @@
+"""Incremental (ECO) rerouting vs the full flow.
+
+Following Ahrens et al. (arXiv:2111.06169), incremental detailed
+routing is the production workload: one full route, then many small
+ECO passes.  This bench routes each chip once, edits ~2 % of its nets
+(minimum one pin move, chosen against the routed wiring so the edit
+touches a genuinely small neighbourhood), and runs
+``RoutingSession.apply_changes`` + ``reroute``.  The reproduction
+target is the incremental win itself: the ECO pass must route a small
+fraction of the nets the full flow routed (``droute.net`` span counts)
+while landing on comparable wiring quality.
+
+The summary test persists the run into ``BENCH_eco.json``
+(``benchmarks/common.write_bench_record``); the deterministic work
+section (span counts, dirty/rerouted net counts, netlength, vias) is
+what ``python -m repro.obs.regress`` gates in CI quick mode.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    bench_specs,
+    bench_observability,
+    print_table,
+    write_bench_record,
+)
+from repro.chip.generator import generate_chip
+from repro.engine.changes import MovePin
+from repro.engine.session import RoutingSession
+from repro.obs import OBS
+
+_RESULTS = {}
+
+
+def _pick_edits(chip, space, count):
+    """``count`` pin moves on distinct nets, least-conflicting first."""
+    dx = 240
+    candidates = []
+    for net in chip.nets:
+        for pin in net.pins:
+            box = pin.bounding_box()
+            if box.x_hi + dx > chip.die.x_hi - 80:
+                continue
+            conflicts = set()
+            for layer, rect in pin.shapes:
+                conflicts |= space.conflicting_nets(
+                    layer, rect.translated(dx, 0)
+                )
+            conflicts.discard(net.name)
+            candidates.append((len(conflicts), net.name, pin.name))
+    candidates.sort()
+    edits, used_nets = [], set()
+    for _conflicts, net_name, pin_name in candidates:
+        if net_name in used_nets:
+            continue
+        used_nets.add(net_name)
+        edits.append(MovePin(net_name, pin_name, dx, 0))
+        if len(edits) == count:
+            break
+    assert edits, f"{chip.name}: no pin can move right by {dx} dbu"
+    return edits
+
+
+def _droute_spans():
+    return int(OBS.span_totals.get("droute.net", [0, 0.0])[0])
+
+
+def _run_chip(spec):
+    chip = generate_chip(spec)
+    session = RoutingSession(chip, gr_phases=10, seed=1)
+    with bench_observability():
+        start = time.time()
+        session.route()
+        full_time = time.time() - start
+        full_spans = _droute_spans()
+        full_netlength = session.space.total_wire_length()
+        full_vias = session.space.total_via_count()
+
+    edits = _pick_edits(
+        chip, session.space, count=max(1, len(chip.nets) * 2 // 100)
+    )
+    with bench_observability():
+        start = time.time()
+        session.apply_changes(edits)
+        report = session.reroute()
+        eco_time = time.time() - start
+        eco_spans = _droute_spans()
+
+    return {
+        "chip": spec.name,
+        "nets": len(chip.nets),
+        "edits": len(edits),
+        "full_time_s": full_time,
+        "full_spans": full_spans,
+        "full_netlength": full_netlength,
+        "full_vias": full_vias,
+        "eco_time_s": eco_time,
+        "eco_spans": eco_spans,
+        "eco": report.as_dict(),
+    }
+
+
+@pytest.mark.parametrize("spec", bench_specs(), ids=lambda s: s.name)
+def test_eco_chip(benchmark, spec):
+    row = benchmark.pedantic(_run_chip, args=(spec,), rounds=1, iterations=1)
+    _RESULTS[spec.name] = row
+    benchmark.extra_info["eco"] = row
+    # The incremental pass must never route more nets than the full flow
+    # and must leave the frozen majority of the chip untouched.
+    assert row["eco_spans"] <= row["full_spans"]
+    assert row["eco"]["nets_rerouted"] < row["nets"]
+
+
+def _persist(totals):
+    work = {
+        "eco.droute_net_spans": totals["eco_spans"],
+        "eco.nets_dirty": totals["dirty"],
+        "eco.nets_rerouted": totals["rerouted"],
+        "eco.ripups_propagated": totals["ripups"],
+        "eco.netlength": totals["eco_net"],
+        "eco.vias": totals["eco_vias"],
+        "full.droute_net_spans": totals["full_spans"],
+        "full.netlength": totals["full_net"],
+        "full.vias": totals["full_vias"],
+    }
+    wall_clock = {
+        "full.time_s": totals["full_time"],
+        "eco.time_s": totals["eco_time"],
+    }
+    columns = {name: row for name, row in sorted(_RESULTS.items())}
+    path = write_bench_record("eco", wall_clock, work, columns=columns)
+    if path is not None:
+        print(f"bench record appended to {path}")
+
+
+def test_eco_summary(benchmark):
+    def summarize():
+        rows = []
+        totals = {"full_time": 0.0, "eco_time": 0.0, "full_spans": 0,
+                  "eco_spans": 0, "dirty": 0, "rerouted": 0, "ripups": 0,
+                  "eco_net": 0, "eco_vias": 0, "full_net": 0, "full_vias": 0}
+        for name, row in sorted(_RESULTS.items()):
+            eco = row["eco"]
+            rows.append([
+                name, row["nets"], row["edits"],
+                f"{row['full_time_s']:.1f}", row["full_spans"],
+                f"{row['eco_time_s']:.1f}", row["eco_spans"],
+                eco["nets_dirty"], eco["nets_rerouted"],
+                eco["ripups_propagated"], eco["nets_failed"],
+            ])
+            totals["full_time"] += row["full_time_s"]
+            totals["eco_time"] += row["eco_time_s"]
+            totals["full_spans"] += row["full_spans"]
+            totals["eco_spans"] += row["eco_spans"]
+            totals["dirty"] += eco["nets_dirty"]
+            totals["rerouted"] += eco["nets_rerouted"]
+            totals["ripups"] += eco["ripups_propagated"]
+            totals["eco_net"] += eco["netlength"]
+            totals["eco_vias"] += eco["vias"]
+            totals["full_net"] += row["full_netlength"]
+            totals["full_vias"] += row["full_vias"]
+        print_table(
+            "ECO incremental reroute vs full flow",
+            ["chip", "nets", "edits", "full_s", "full_nets", "eco_s",
+             "eco_nets", "dirty", "rerouted", "ripups", "failed"],
+            rows,
+        )
+        return totals
+
+    if not _RESULTS:
+        pytest.skip("per-chip benches did not run")
+    totals = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    benchmark.extra_info["sum"] = dict(totals)
+    _persist(totals)
+    # The headline incremental win: across the run, the ECO passes must
+    # stay well under the full flows' detailed-routing volume.
+    assert totals["eco_spans"] * 2 <= totals["full_spans"]

@@ -4,7 +4,8 @@ Commands:
 
 * ``generate`` — write a synthetic chip to a text file;
 * ``route`` — run the BonnRoute flow (or the ISR baseline) on a chip
-  file and write the routes;
+  file and write the routes; ``--eco CHANGES.json`` follows up with an
+  incremental ECO reroute of only the edited/conflicting nets;
 * ``drc`` — check a routed chip and print the violation summary;
 * ``render`` / ``viz`` — ASCII-render one layer of a routed chip
   (``viz`` additionally takes a ``--window`` clip rectangle).
@@ -86,6 +87,29 @@ def _cmd_route(args: argparse.Namespace) -> int:
         from repro.flow.isr_flow import IsrFlow
 
         result = IsrFlow(chip, cleanup=not args.no_cleanup).run()
+    if args.eco:
+        import json
+
+        from repro.engine.changes import changes_from_json
+
+        if args.flow != "bonnroute":
+            print("error: --eco requires --flow bonnroute", file=sys.stderr)
+            return 2
+        try:
+            with open(args.eco) as handle:
+                changes = changes_from_json(json.load(handle))
+            session = result.session
+            session.apply_changes(changes)
+            eco_report = session.reroute(cleanup=not args.no_cleanup)
+        except (OSError, ValueError, KeyError, IndexError) as error:
+            print(f"error: eco pass failed: {error}", file=sys.stderr)
+            return 2
+        result.metrics.eco = eco_report.as_dict()
+        result.metrics.netlength = eco_report.wire_length
+        result.metrics.vias = eco_report.via_count
+        print("--- eco report ---")
+        for key, value in eco_report.as_dict().items():
+            print(f"{key:13}: {value}")
     write_routes_file(result.space.routes, args.output, chip.name)
     for key, value in result.metrics.as_dict().items():
         print(f"{key:13}: {value}")
@@ -228,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--resume", action="store_true",
         help="resume from the --checkpoint file if present",
+    )
+    route.add_argument(
+        "--eco", default=None, metavar="CHANGES.json",
+        help="after the full route, apply the ECO changes from this "
+        'file ({"changes": [...]}) and incrementally re-route only the '
+        "dirty nets (bonnroute flow only)",
     )
     route.add_argument(
         "--inject-faults", action="append", default=None, metavar="SPEC",

@@ -78,6 +78,12 @@ class Chip:
         self.nets.append(net)
         self._nets_by_name[net.name] = net
 
+    def remove_net(self, name: str) -> Net:
+        """Remove a net (ECO); the caller rips its wiring first."""
+        net = self._nets_by_name.pop(name)  # KeyError if unknown
+        self.nets.remove(net)
+        return net
+
     def all_pins(self) -> Iterable[Pin]:
         for net in self.nets:
             yield from net.pins

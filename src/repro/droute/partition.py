@@ -116,9 +116,15 @@ def partition_sequence(
 def assign_nets_to_rounds(
     chip: Chip,
     sequence: Sequence[PartitionRound],
-    nets: Optional[Sequence[Net]] = None,
+    nets: Optional[Sequence] = None,
 ) -> List[List[Tuple[int, Net]]]:
     """Assign each net to the earliest round whose safe region contains it.
+
+    ``nets`` restricts the assignment to a subset — e.g. the dirty set of
+    an ECO reroute (:meth:`repro.engine.session.RoutingSession.reroute`)
+    — and accepts :class:`Net` objects or net names interchangeably;
+    names are resolved against the chip and duplicates are dropped.
+    Defaults to every chip net.
 
     Returns per round a list of (region_index, net); within a round,
     different regions model concurrent threads.  Every net is routable by
@@ -126,7 +132,13 @@ def assign_nets_to_rounds(
     """
     if nets is None:
         nets = chip.nets
-    remaining = list(nets)
+    remaining: List[Net] = []
+    seen = set()
+    for item in nets:
+        net = chip.net(item) if isinstance(item, str) else item
+        if net.name not in seen:
+            seen.add(net.name)
+            remaining.append(net)
     assignment: List[List[Tuple[int, Net]]] = []
     for round_index, part in enumerate(sequence):
         this_round: List[Tuple[int, Net]] = []

@@ -117,9 +117,22 @@ class DetailedRouter:
         net_deadline_s: Optional[float] = None,
         stage_budget_s: Optional[float] = None,
         retry_policy: Optional[NetRetryPolicy] = None,
+        session=None,
     ) -> None:
         self.space = space
         self.chip = space.chip
+        #: Optional :class:`repro.engine.session.RoutingSession`.  When
+        #: set, corridors/detours come from the session records, the pin
+        #: access planner and reserved access paths persist on the
+        #: session across reroutes, and nets ripped up during an ECO pass
+        #: are pulled back in from the chip even when outside the given
+        #: net subset.
+        self.session = session
+        if session is not None:
+            if corridors is None:
+                corridors = session.corridor_map()
+            if corridor_detours is None:
+                corridor_detours = session.detour_map()
         #: Per-net routing areas from global routing (Sec. 4.4); nets
         #: without an entry route in the whole chip.
         self.corridors = corridors if corridors is not None else {}
@@ -138,11 +151,17 @@ class DetailedRouter:
             if retry_policy is not None
             else NetRetryPolicy(max_attempts=len(self.ladder))
         )
-        self.planner = PinAccessPlanner(space, fault_injector=fault_injector)
+        if session is not None and session.planner is not None:
+            self.planner = session.planner
+        else:
+            self.planner = PinAccessPlanner(space, fault_injector=fault_injector)
+            if session is not None:
+                session.planner = self.planner
+        access_paths = session.access_paths if session is not None else {}
         self.connector = NetConnector(
             space,
             costs=self.costs,
-            access_paths={},
+            access_paths=access_paths,
             planner=self.planner,
             use_interval_search=use_interval_search,
             spreading=spreading,
@@ -173,6 +192,11 @@ class DetailedRouter:
         for net in nets:
             for pin in net.pins:
                 if pin.circuit_id is None:
+                    continue
+                if pin.name in self.connector.access_paths:
+                    # Already reserved (a session reroute reuses the
+                    # previous run's catalogue); reserving again would
+                    # double-insert the path's shapes.
                     continue
                 by_circuit.setdefault(pin.circuit_id, []).append(pin)
         circuits = {c.instance_id: c for c in self.chip.circuits}
@@ -363,6 +387,15 @@ class DetailedRouter:
                         )
                     for ripped_name in connection.ripped_nets:
                         ripped_net = nets_by_name.get(ripped_name)
+                        if ripped_net is None and self.session is not None:
+                            # ECO pass: a clean net outside the dirty
+                            # subset was ripped; pull it into this run so
+                            # its wiring is restored, and record the
+                            # propagation.
+                            ripped_net = self.session.net_or_none(ripped_name)
+                            if ripped_net is not None:
+                                nets_by_name[ripped_name] = ripped_net
+                                self.session.mark_ripup_propagated(ripped_name)
                         if ripped_net is None:
                             continue
                         result.routed.discard(ripped_name)

@@ -278,6 +278,55 @@ class RoutingSpace:
             self.fast_grid.invalidate_region(layer, rect)
 
     # ------------------------------------------------------------------
+    # ECO geometry edits (repro.engine)
+    # ------------------------------------------------------------------
+    def replace_blockage_shape(self, layer: int, old: Rect, new: Rect) -> None:
+        """Swap a fixed blockage rectangle in place.
+
+        Both regions are invalidated with ``off_track=True``: routed
+        wiring near the old extent may sit off-grid relative to the new
+        legality words, so the fast grid must fall back to exact
+        shape-grid checks there until the region is re-verified.
+        """
+        if not self.chip.stack.has_layer(layer):
+            return
+        self.shape_grid.remove_shape(
+            "wiring", layer, old, None, "blockage", ShapeKind.BLOCKAGE,
+            RIPUP_FIXED, min(old.width, old.height),
+        )
+        self.shape_grid.add_shape(
+            "wiring", layer, new, None, "blockage", ShapeKind.BLOCKAGE,
+            RIPUP_FIXED, min(new.width, new.height),
+        )
+        self.fast_grid.invalidate_region(layer, old, off_track=True)
+        self.fast_grid.invalidate_region(layer, new, off_track=True)
+
+    def conflicting_nets(
+        self, layer: int, rect: Rect, margin: Optional[int] = None
+    ) -> Set[str]:
+        """Nets with removable wiring within interaction distance of
+        ``rect`` on ``layer`` and its via-coupled neighbours.
+
+        Pin shapes and blockages are fixed (never removable) and are
+        skipped; the result is exactly the set an ECO edit at ``rect``
+        may force to re-route.
+        """
+        out: Set[str] = set()
+        stack = self.chip.stack
+        for z in (layer - 1, layer, layer + 1):
+            if not stack.has_layer(z):
+                continue
+            if margin is None:
+                reach = self.chip.rules.max_interaction_distance(z)
+            else:
+                reach = margin
+            window = rect.expanded(reach)
+            for entry in self.shape_grid.query("wiring", z, window):
+                if entry.net and entry.removable:
+                    out.add(entry.net)
+        return out
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def check_wire(

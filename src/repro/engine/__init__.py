@@ -1,0 +1,51 @@
+"""The incremental routing engine: sessions, ECO changes, dirty tracking."""
+
+from repro.engine.changes import (
+    AddNet,
+    Change,
+    MovePin,
+    RemoveNet,
+    ResizeBlockage,
+    change_from_dict,
+    changes_from_json,
+    changes_to_json,
+)
+from repro.engine.dirty import (
+    DirtyTracker,
+    REASON_ADDED,
+    REASON_CAPACITY,
+    REASON_CONFLICT,
+    REASON_EDITED,
+    REASON_RIPUP,
+)
+from repro.engine.session import (
+    EcoReport,
+    NetRecord,
+    RoutingSession,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    STATUS_ROUTED,
+)
+
+__all__ = [
+    "AddNet",
+    "Change",
+    "MovePin",
+    "RemoveNet",
+    "ResizeBlockage",
+    "change_from_dict",
+    "changes_from_json",
+    "changes_to_json",
+    "DirtyTracker",
+    "REASON_ADDED",
+    "REASON_CAPACITY",
+    "REASON_CONFLICT",
+    "REASON_EDITED",
+    "REASON_RIPUP",
+    "EcoReport",
+    "NetRecord",
+    "RoutingSession",
+    "STATUS_FAILED",
+    "STATUS_PENDING",
+    "STATUS_ROUTED",
+]

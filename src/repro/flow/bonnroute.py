@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.baseline.cleanup import CleanupReport, DrcCleanup
 from repro.chip.design import Chip
 from repro.chip.net import Net
-from repro.droute.area import RoutingArea
 from repro.droute.router import DetailedRouter, DetailedRoutingResult
 from repro.droute.space import RoutingSpace
 from repro.flow.faults import FaultInjector, FaultPlan
@@ -35,7 +34,6 @@ from repro.flow.resilience import (
     NetFailure,
 )
 from repro.flow.stats import FlowMetrics, collect_metrics
-from repro.grid.tracks import build_track_plan
 from repro.groute.graph import GlobalRoutingGraph
 from repro.groute.router import GlobalRouter, GlobalRoutingResult
 from repro.obs import OBS
@@ -56,6 +54,9 @@ class FlowResult:
 
     def __init__(self, chip: Chip) -> None:
         self.chip = chip
+        #: The engine session that owns the routing state; survives the
+        #: flow and accepts ECO changes afterwards.
+        self.session = None
         self.space: Optional[RoutingSpace] = None
         self.global_result: Optional[GlobalRoutingResult] = None
         self.detailed_result: Optional[DetailedRoutingResult] = None
@@ -84,8 +85,14 @@ class BonnRouteFlow:
         stage_budget_s: Optional[float] = None,
         checkpoint_path: Optional[str] = None,
         resume: bool = False,
+        session=None,
     ) -> None:
         self.chip = chip
+        #: The engine session this flow writes into.  Created lazily in
+        #: :meth:`_run_impl` when none is given; pass one to route into
+        #: existing session state (e.g. from
+        #: :meth:`repro.engine.session.RoutingSession.route`).
+        self.session = session
         self.gr_phases = gr_phases
         self.gr_tile_size = gr_tile_size
         self.threads = threads
@@ -153,6 +160,11 @@ class BonnRouteFlow:
             sorted(local_nets),
             sorted(prerouted),
             detailed=detailed,
+            session=(
+                self.session.session_state()
+                if self.session is not None
+                else None
+            ),
         )
         save_checkpoint(self.checkpoint_path, checkpoint)
 
@@ -199,17 +211,14 @@ class BonnRouteFlow:
         extra_obstacles: List = []
         if not self.preroute_local_nets:
             return prerouted, extra_obstacles
-        probe = GlobalRoutingGraph(self.chip, self.gr_tile_size)
+        session = self.session
+        probe = session.graph
         local_nets = [net for net in self.chip.nets if probe.is_local_net(net)]
         if not local_nets:
             return prerouted, extra_obstacles
-        corridors = {}
-        for net in local_nets:
-            box = net.bounding_box().expanded(2 * probe.tile_size)
-            clipped = box.intersection(self.chip.die) or self.chip.die
-            corridors[net.name] = RoutingArea.from_boxes(
-                [(z, clipped) for z in self.chip.stack.indices]
-            )
+        corridors = {
+            net.name: session.local_corridor(net) for net in local_nets
+        }
         pre_router = DetailedRouter(
             space,
             corridors=corridors,
@@ -218,11 +227,11 @@ class BonnRouteFlow:
             net_deadline_s=self.net_timeout_s,
         )
         pre_result = pre_router.run(local_nets)
-        report.retries += pre_result.retries
-        report.escalations += pre_result.escalations
-        for name, rung in pre_result.recovered.items():
-            report.record_recovery(name, rung)
+        # Unrouted local nets re-enter the main detailed stage, so only
+        # retries/escalations/recoveries are folded in here.
+        report.absorb_detailed(pre_result, include_failures=False)
         prerouted = set(pre_result.routed)
+        session.set_prerouted(sorted(prerouted))
         for name in prerouted:
             route = space.routes.get(name)
             if route is None:
@@ -259,6 +268,7 @@ class BonnRouteFlow:
                 track_plan=plan,
                 extra_obstacles=extra_obstacles or None,
                 fault_injector=self.fault_injector,
+                session=self.session,
             )
             global_result = global_router.run(deadline=deadline)
         except Exception as error:  # noqa: BLE001 - stage isolation
@@ -277,6 +287,7 @@ class BonnRouteFlow:
             for net in self.chip.nets:
                 if graph.is_local_net(net):
                     fallback.local_nets.add(net.name)
+            self.session.ingest_global(fallback)
             return fallback
         fractional = global_result.fractional
         if fractional is not None:
@@ -290,26 +301,17 @@ class BonnRouteFlow:
             report.global_faults += global_result.rounding_stats.rounding_faults
         return global_result
 
-    def _corridors_from_routes(
-        self,
-        global_result: GlobalRoutingResult,
-    ) -> Tuple[Dict[str, RoutingArea], Dict[str, float]]:
-        corridors: Dict[str, RoutingArea] = global_result.corridors(
-            self.corridor_margin_tiles
+    def _detailed_router(self, space: RoutingSpace, session) -> DetailedRouter:
+        """Build the main-stage detailed router (overridable test seam;
+        runs between the global-stage checkpoint and detailed routing)."""
+        return DetailedRouter(
+            space,
+            threads=self.threads,
+            fault_injector=self.fault_injector,
+            net_deadline_s=self.net_timeout_s,
+            stage_budget_s=self.stage_budget_s,
+            session=session,
         )
-        detours: Dict[str, float] = {}
-        for name in global_result.routes:
-            detours[name] = global_result.corridor_detour(name)
-        for name in global_result.local_nets:
-            net = self.chip.net(name)
-            box = net.bounding_box().expanded(
-                2 * global_result.graph.tile_size
-            )
-            clipped = box.intersection(self.chip.die) or self.chip.die
-            corridors[name] = RoutingArea.from_boxes(
-                [(z, clipped) for z in self.chip.stack.indices]
-            )
-        return corridors, detours
 
     # ------------------------------------------------------------------
     # Main entry
@@ -332,8 +334,21 @@ class BonnRouteFlow:
         start = time.time()
         result = FlowResult(self.chip)
         report = result.failure_report
-        plan = build_track_plan(self.chip)
-        space = RoutingSpace(self.chip, track_plan=plan)
+        if self.session is None:
+            from repro.engine.session import RoutingSession
+
+            self.session = RoutingSession(
+                self.chip,
+                gr_phases=self.gr_phases,
+                gr_tile_size=self.gr_tile_size,
+                threads=self.threads,
+                seed=self.seed,
+                corridor_margin_tiles=self.corridor_margin_tiles,
+            )
+        session = self.session
+        result.session = session
+        plan = session.plan
+        space = session.space
         result.space = space
 
         checkpoint = self._load_resume_checkpoint()
@@ -353,6 +368,12 @@ class BonnRouteFlow:
             global_result.local_nets = set(global_data.get("local_nets", ()))
             prerouted = set(global_data.get("prerouted", ()))
             result.global_result = global_result
+            # Rebuild the session's corridors/records from the restored
+            # global result, then overlay the checkpointed scalar state
+            # (statuses, prerouted flags, dirty set).
+            session.ingest_global(global_result)
+            session.restore_state(checkpoint.get("session") or {})
+            session.set_prerouted(sorted(prerouted))
             if stage_reached(checkpoint, STAGE_DETAILED):
                 detailed_result = self._detailed_result_from_data(
                     checkpoint.get("detailed") or {}
@@ -373,21 +394,13 @@ class BonnRouteFlow:
             )
 
         if detailed_result is None:
-            corridors, detours = self._corridors_from_routes(global_result)
             remaining = [
                 net for net in self.chip.nets if net.name not in prerouted
             ]
-            detailed = DetailedRouter(
-                space,
-                corridors=corridors,
-                corridor_detours=detours,
-                threads=self.threads,
-                fault_injector=self.fault_injector,
-                net_deadline_s=self.net_timeout_s,
-                stage_budget_s=self.stage_budget_s,
-            )
+            detailed = self._detailed_router(space, session)
             with OBS.trace("flow.detailed", nets=len(remaining)):
                 detailed_result = detailed.run(remaining)
+            session.ingest_detailed(detailed_result)
             self._save_checkpoint(
                 STAGE_DETAILED,
                 space,
@@ -397,6 +410,8 @@ class BonnRouteFlow:
                 prerouted,
                 detailed=self._detailed_summary_data(detailed_result),
             )
+        else:
+            session.ingest_detailed(detailed_result)
         # Fold the prerouted nets into the reported coverage.
         detailed_result.routed |= prerouted
         detailed_result.wire_length = space.total_wire_length()
@@ -405,12 +420,7 @@ class BonnRouteFlow:
         result.runtime_router = time.time() - start
 
         # Aggregate the failure report.
-        for failure in detailed_result.failures.values():
-            report.record_failure(failure)
-        for name, rung in detailed_result.recovered.items():
-            report.record_recovery(name, rung)
-        report.retries += detailed_result.retries
-        report.escalations += detailed_result.escalations
+        report.absorb_detailed(detailed_result)
         if detailed_result.stage_budget_exhausted:
             report.degraded_stages[STAGE_DETAILED] = (
                 "stage budget expired with nets still queued"

@@ -18,7 +18,6 @@ from repro.droute.area import RoutingArea
 from repro.droute.space import RoutingSpace
 from repro.flow.bonnroute import FlowResult
 from repro.flow.stats import collect_metrics
-from repro.grid.tracks import build_track_plan
 from repro.obs import OBS
 
 
@@ -49,10 +48,20 @@ class IsrFlow:
         return result
 
     def _run_impl(self) -> FlowResult:
+        from repro.engine.session import RoutingSession
+
         start = time.time()
         result = FlowResult(self.chip)
-        plan = build_track_plan(self.chip)
-        space = RoutingSpace(self.chip, track_plan=plan)
+        # Light session integration: the baseline flow shares the engine
+        # record model (status/corridor per net) but keeps its own
+        # negotiation-based global router; ECO reroutes are BR-only.
+        session = RoutingSession(
+            self.chip,
+            threads=self.threads,
+            corridor_margin_tiles=self.corridor_margin_tiles,
+        )
+        result.session = session
+        space = session.space
         result.space = space
 
         global_router = IsrGlobalRouter(self.chip)
@@ -82,11 +91,21 @@ class IsrFlow:
                 [(z, clipped) for z in self.chip.stack.indices]
             )
 
+        for name, route in global_result.routes.items():
+            record = session.record(name)
+            record.global_route = route
+            record.corridor = corridors.get(name)
+        for name in global_result.local_nets:
+            record = session.record(name)
+            record.is_local = True
+            record.corridor = corridors.get(name)
+
         detailed = IsrDetailedRouter(
             space, corridors=corridors, threads=self.threads
         )
         with OBS.trace("flow.detailed"):
             detailed_result = detailed.run()
+        session.ingest_detailed(detailed_result)
         result.detailed_result = detailed_result
         result.runtime_router = time.time() - start
 

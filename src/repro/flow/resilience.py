@@ -336,6 +336,21 @@ class FlowFailureReport:
         self.recovered_nets[net_name] = rung_name
         self.net_failures.pop(net_name, None)
 
+    def absorb_detailed(self, result, include_failures: bool = True) -> None:
+        """Fold a detailed-routing result into this report.
+
+        Used by the full flow and by session ECO reroutes; the preroute
+        pass sets ``include_failures=False`` because its unrouted nets
+        re-enter the main detailed stage rather than ending up open.
+        """
+        self.retries += result.retries
+        self.escalations += result.escalations
+        for name, rung in result.recovered.items():
+            self.record_recovery(name, rung)
+        if include_failures:
+            for failure in result.failures.values():
+                self.record_failure(failure)
+
     def reasons_histogram(self) -> Dict[str, int]:
         histogram: Dict[str, int] = {}
         for failure in self.net_failures.values():

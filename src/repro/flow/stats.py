@@ -98,6 +98,10 @@ class FlowMetrics:
         # Table I benchmarks can record internal counters alongside the
         # paper columns.  Empty when disabled.
         self.obs: Dict[str, object] = {}
+        # ECO section (ISSUE 5): the :meth:`EcoReport.as_dict` payload of
+        # an incremental reroute run after the full route (``route
+        # --eco``).  Empty when the run was batch-only.
+        self.eco: Dict[str, object] = {}
 
     def as_dict(self) -> Dict[str, object]:
         """All Table I columns (plus resilience and obs sections) as one dict.
@@ -127,6 +131,8 @@ class FlowMetrics:
         }
         if self.obs:
             out["obs"] = self.obs
+        if self.eco:
+            out["eco"] = self.eco
         return out
 
 

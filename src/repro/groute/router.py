@@ -56,7 +56,15 @@ class GlobalRoutingResult:
     # -- corridors (Sec. 4.4) -------------------------------------------
     def corridor(self, net_name: str, margin_tiles: int = 0) -> RoutingArea:
         """Routing area from the net's global route: its tiles on their
-        layers plus the same tiles on neighbouring layers."""
+        layers plus the same tiles on neighbouring layers.
+
+        Degenerate nets deliberately get the unrestricted area: a net
+        with no recorded route (local nets, oracle failures) and a net
+        whose route has no edges (all terminals in one graph node, e.g. a
+        single-terminal net) both return :meth:`RoutingArea.everywhere`,
+        so the detailed router is never boxed into a corridor that the
+        global stage never computed.
+        """
         route = self.routes.get(net_name)
         if route is None or not route.edges:
             return RoutingArea.everywhere()
@@ -74,7 +82,13 @@ class GlobalRoutingResult:
 
     def corridor_detour(self, net_name: str) -> float:
         """Route length over the net's Steiner lower bound (drives the
-        pi_H / pi_P choice of Sec. 4.1)."""
+        pi_H / pi_P choice of Sec. 4.1).
+
+        Clamped to >= 1.0, which also pins the degenerate cases: an
+        unrouted net has length 0 and a single-terminal net has Steiner
+        lower bound 0 (clamped to 1), so both report a detour factor of
+        exactly 1.0 — "no detour known" — rather than raising.
+        """
         net = self.chip.net(net_name)
         lower = max(steiner_length(net.terminal_points()), 1)
         length = self.net_wire_length(net_name)
@@ -124,9 +138,16 @@ class GlobalRouter:
         capacity_scale: float = 1.0,
         extra_obstacles=None,
         fault_injector=None,
+        session=None,
     ) -> None:
         self.chip = chip
+        #: Optional :class:`repro.engine.session.RoutingSession`.  When
+        #: set, results are written into the session's per-net records
+        #: and the final sharing duals are stored for ECO warm starts.
+        self.session = session
         self.graph = GlobalRoutingGraph(chip, tile_size)
+        if session is not None and track_plan is None:
+            track_plan = session.plan
         self.plan = track_plan if track_plan is not None else build_track_plan(chip)
         estimate_capacities(self.graph, self.plan, extra_obstacles=extra_obstacles)
         if capacity_scale != 1.0:
@@ -147,6 +168,8 @@ class GlobalRouter:
         self.epsilon = epsilon
         self.seed = seed
         self.fault_injector = fault_injector
+        if session is not None:
+            session.attach_global_router(self)
 
     def run(
         self, nets: Optional[Sequence[Net]] = None, deadline=None
@@ -186,6 +209,9 @@ class GlobalRouter:
         result.rounding_stats = postprocessor.stats
         result.routes = routes
         result.total_runtime = time.time() - start
+        if self.session is not None:
+            self.session.store_sharing_prices(fractional.prices)
+            self.session.ingest_global(result)
         if OBS.enabled:
             OBS.count("groute.nets_routed", len(result.routes))
             OBS.count("groute.local_nets", len(result.local_nets))
@@ -193,4 +219,72 @@ class GlobalRouter:
             if stats is not None:
                 OBS.count("groute.fresh_reroutes", stats.fresh_reroutes)
                 OBS.gauge("groute.final_violations", stats.final_violations)
+        return result
+
+    def run_incremental(
+        self,
+        nets: Sequence[Net],
+        warm_start: Optional[Dict[object, float]] = None,
+        phases: Optional[int] = None,
+        frozen_routes: Optional[Dict[str, GlobalRoute]] = None,
+        deadline=None,
+    ) -> GlobalRoutingResult:
+        """Re-route only ``nets``, warm-starting from previous duals.
+
+        ``warm_start`` seeds the solver's log-prices (a previous
+        :attr:`FractionalSolution.prices` converted by the session), so
+        the sharing loop starts where the chip's congestion already is
+        and far fewer phases suffice.  ``frozen_routes`` — the unchanged
+        nets' global routes — enter rounding repair as fixed load: the
+        repair stage accounts for their edge usage when it resolves
+        overflows but never rechooses or reroutes them (they have no
+        fractional support and no Net object in the repair call).
+        """
+        start = time.time()
+        result = GlobalRoutingResult(self.chip, self.graph)
+        routable: List[Net] = []
+        for net in nets:
+            if self.graph.is_local_net(net):
+                result.local_nets.add(net.name)
+            else:
+                routable.append(net)
+        solver = ResourceSharingSolver(
+            self.graph, self.model,
+            phases=phases if phases is not None else self.phases,
+            epsilon=self.epsilon,
+            fault_injector=self.fault_injector,
+            initial_log_prices=warm_start,
+        )
+        sharing_start = time.time()
+        with OBS.trace(
+            "groute.sharing", nets=len(routable), phases=solver.phases,
+            incremental=True,
+        ):
+            fractional = solver.solve(routable, deadline=deadline)
+        result.sharing_runtime = time.time() - sharing_start
+        result.fractional = fractional
+        rounding_start = time.time()
+        postprocessor = RoundingPostprocessor(
+            self.graph, self.model, self.seed,
+            fault_injector=self.fault_injector,
+        )
+        with OBS.trace("groute.rounding", incremental=True):
+            routes = postprocessor.round(fractional)
+            merged = dict(frozen_routes or {})
+            merged.update(routes)
+            merged = postprocessor.repair(merged, fractional, routable)
+        result.rounding_runtime = time.time() - rounding_start
+        result.rounding_stats = postprocessor.stats
+        # Only the re-routed nets belong to this result; the frozen
+        # routes were load, not output.
+        dirty_names = {net.name for net in nets}
+        result.routes = {
+            name: route for name, route in merged.items() if name in dirty_names
+        }
+        result.total_runtime = time.time() - start
+        if self.session is not None:
+            self.session.store_sharing_prices(fractional.prices)
+        if OBS.enabled:
+            OBS.count("groute.nets_routed", len(result.routes))
+            OBS.count("groute.local_nets", len(result.local_nets))
         return result

@@ -80,6 +80,7 @@ class ResourceSharingSolver:
         use_landmarks: bool = False,
         landmark_count: int = 4,
         fault_injector=None,
+        initial_log_prices: Optional[Dict[object, float]] = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -102,8 +103,11 @@ class ResourceSharingSolver:
 
             self._landmarks = LandmarkOracle(graph, landmark_count)
         # Log-prices: resource -> ln(y_r); edges keyed by Edge, globals by
-        # name.  Initialized to ln(1) = 0 (Algorithm 2, line 1).
-        self._log_price: Dict[object, float] = {}
+        # name.  Initialized to ln(1) = 0 (Algorithm 2, line 1), or to a
+        # previous run's final duals for warm-started incremental solves —
+        # the old prices already encode where the chip is congested, so
+        # far fewer phases reach a good average.
+        self._log_price: Dict[object, float] = dict(initial_log_prices or {})
 
     def _potential_factory(self):
         if self._landmarks is None:

@@ -23,7 +23,14 @@ STAGE_GLOBAL = "global"
 STAGE_DETAILED = "detailed"
 _STAGE_ORDER = (STAGE_GLOBAL, STAGE_DETAILED)
 
-CHECKPOINT_VERSION = 1
+#: Schema tag distinguishing this document kind from any other JSON.
+SCHEMA_NAME = "repro-checkpoint"
+#: Version 2 added the engine-session payload (per-net records + dirty
+#: state) and the explicit ``schema`` tag; version-1 checkpoints predate
+#: the engine layer and cannot restore session state, so loading them
+#: fails with a clear error instead of resuming with silently empty
+#: records.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(ValueError):
@@ -86,8 +93,17 @@ def build_checkpoint(
     local_nets: List[str],
     prerouted: List[str],
     detailed: Optional[Dict[str, object]] = None,
+    session: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
+    """Build a v2 checkpoint document.
+
+    ``session`` is the engine-session payload
+    (:meth:`repro.engine.session.RoutingSession.session_state`): per-net
+    record scalars plus the dirty set, so an ECO-capable resume restores
+    exactly where the killed run stood.
+    """
     return {
+        "schema": SCHEMA_NAME,
         "version": CHECKPOINT_VERSION,
         "stage": stage,
         "chip": chip_name,
@@ -100,6 +116,7 @@ def build_checkpoint(
             "prerouted": sorted(prerouted),
         },
         "detailed": detailed,
+        "session": session,
     }
 
 
@@ -136,7 +153,18 @@ def load_checkpoint(
             checkpoint = json.load(handle)
         except json.JSONDecodeError as error:
             raise CheckpointError(f"corrupt checkpoint {path}: {error}") from error
+    schema = checkpoint.get("schema")
+    if schema is not None and schema != SCHEMA_NAME:
+        raise CheckpointError(
+            f"checkpoint {path} has schema {schema!r}, expected {SCHEMA_NAME!r}"
+        )
     version = checkpoint.get("version")
+    if version == 1:
+        raise CheckpointError(
+            f"checkpoint {path} has version 1 (pre-engine): it predates the "
+            "routing-session layer and carries no per-net session state. "
+            "Re-run the flow from scratch to produce a v2 checkpoint."
+        )
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"checkpoint {path} has version {version}, expected {CHECKPOINT_VERSION}"

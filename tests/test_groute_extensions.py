@@ -198,3 +198,58 @@ class TestWireSpreading:
         router = DetailedRouter(space, spreading=spreading)
         result = router.run()
         assert len(result.failed) == 0
+
+
+class TestDegenerateCorridors:
+    """Pinned degenerate behaviour of corridor() / corridor_detour().
+
+    An unrouted net and a net whose global route has no edges (all
+    terminals in one graph node) must fall back to the unrestricted
+    routing area and a detour factor of exactly 1.0 — the detailed
+    router must never be boxed into a corridor the global stage never
+    computed.
+    """
+
+    def _empty_result(self):
+        from repro.groute.router import GlobalRoutingResult
+
+        chip = generate_chip(
+            ChipSpec("degen", rows=2, row_width_cells=4, net_count=4, seed=2)
+        )
+        graph = GlobalRoutingGraph(chip)
+        return chip, GlobalRoutingResult(chip, graph)
+
+    def test_unrouted_net_gets_unrestricted_corridor(self):
+        chip, result = self._empty_result()
+        name = chip.nets[0].name
+        area = result.corridor(name, margin_tiles=2)
+        assert area.boxes is None  # RoutingArea.everywhere()
+        assert area.contains(0, 0, 1) and area.allows_layer(6)
+
+    def test_unrouted_net_detour_is_one(self):
+        chip, result = self._empty_result()
+        assert result.corridor_detour(chip.nets[0].name) == 1.0
+
+    def test_edgeless_route_gets_unrestricted_corridor(self):
+        from repro.groute.graph import GlobalRoute
+
+        chip, result = self._empty_result()
+        name = chip.nets[1].name
+        # All terminals in one tile: the route exists but has no edges.
+        result.routes[name] = GlobalRoute(name, set())
+        area = result.corridor(name)
+        assert area.boxes is None
+        assert result.corridor_detour(name) == 1.0
+
+    def test_routed_net_is_actually_restricted(self):
+        """Contrast case: a real route does constrain the corridor."""
+        chip, result = self._empty_result()
+        from repro.groute.graph import GlobalRoute
+
+        name = chip.nets[2].name
+        a, b = (0, 0, 3), (1, 0, 3)
+        result.routes[name] = GlobalRoute(name, {(a, b)})
+        area = result.corridor(name)
+        assert area.boxes is not None
+        assert set(area.boxes) == {2, 3, 4}
+        assert result.corridor_detour(name) >= 1.0

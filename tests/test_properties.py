@@ -3,7 +3,9 @@
 * shape grid == multiset semantics under random add/remove interleavings;
 * blockage-grid shortest paths == brute-force BFS on the same grid;
 * distance-rule checker cross-validation: a placement the checker calls
-  legal never creates a spacing violation the DRC checker would flag.
+  legal never creates a spacing violation the DRC checker would flag;
+* fast-grid invalidation: inserting then removing a net's wiring leaves
+  every cached legality word identical to a freshly built grid.
 """
 
 import random
@@ -18,6 +20,7 @@ from repro.droute.space import RoutingSpace
 from repro.geometry.rect import Rect
 from repro.grid.blockgrid import BlockageGrid
 from repro.grid.shapegrid import ShapeGrid
+from repro.droute.route import ViaInstance
 from repro.tech.stacks import example_stack
 from repro.tech.wiring import ShapeKind, StickFigure
 
@@ -200,3 +203,87 @@ class TestCheckerDrcConsistency:
         assert prop_violations == [], (
             f"checker-approved wires violated spacing: {prop_violations[:5]}"
         )
+
+
+class TestFastGridInsertRemoveRoundTrip:
+    """Insert-then-remove wiring must restore every fast-grid word.
+
+    Words are cached lazily and dropped by ``invalidate_region`` on every
+    insertion and removal (including the ``off_track`` dirty-bit path),
+    so a net that is fully ripped out again must leave ``word()``
+    indistinguishable from a freshly built grid on the same chip.  The
+    probes are re-queried between operations so a stale cache entry
+    cannot hide behind lazy recomputation.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.data())
+    def test_words_match_fresh_grid(self, data):
+        chip = generate_chip(
+            ChipSpec("fgprop", rows=2, row_width_cells=4, net_count=4, seed=3)
+        )
+        space = RoutingSpace(chip)
+        graph = space.graph
+        fast = space.fast_grid
+
+        def draw_vertex(z):
+            t = data.draw(st.integers(0, len(graph.tracks[z]) - 1))
+            c = data.draw(st.integers(0, len(graph.crosses[z]) - 1))
+            return (z, t, c)
+
+        probes = []
+        for z in chip.stack.indices:
+            probes.append(draw_vertex(z))
+            probes.append(draw_vertex(z))
+
+        net = "fgprop_net"
+        op_specs = data.draw(
+            st.lists(
+                st.tuples(st.sampled_from(["wire", "via"]), st.booleans()),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        for kind, off_track in op_specs:
+            if kind == "wire":
+                z = data.draw(st.sampled_from(chip.stack.indices))
+                crosses = graph.crosses[z]
+                t = data.draw(st.integers(0, len(graph.tracks[z]) - 1))
+                c0 = data.draw(st.integers(0, len(crosses) - 2))
+                c1 = data.draw(
+                    st.integers(c0 + 1, min(c0 + 4, len(crosses) - 1))
+                )
+                x0, y0, _ = graph.position((z, t, c0))
+                x1, y1, _ = graph.position((z, t, c1))
+                if off_track:
+                    # Shift perpendicular to the track so the wire sits
+                    # between tracks, exercising the dirty-bit path.
+                    shift = max(1, chip.stack[z].pitch // 3)
+                    if x0 == x1:
+                        x0, x1 = x0 + shift, x1 + shift
+                    else:
+                        y0, y1 = y0 + shift, y1 + shift
+                space.add_wire(
+                    net, "default", StickFigure(z, x0, y0, x1, y1),
+                    off_track=off_track,
+                )
+            else:
+                via_layer = data.draw(st.sampled_from(chip.stack.via_layers()))
+                x, y, _ = graph.position(draw_vertex(via_layer))
+                if off_track:
+                    x += max(1, chip.stack[via_layer].pitch // 3)
+                space.add_via(
+                    net, "default", ViaInstance(via_layer, x, y),
+                    off_track=off_track,
+                )
+            # Query between operations so stale entries are observable.
+            for vertex in probes:
+                fast.word("default", vertex)
+
+        space.remove_net_route(net)
+
+        fresh = RoutingSpace(chip)
+        for vertex in probes:
+            assert fast.word("default", vertex) == fresh.fast_grid.word(
+                "default", vertex
+            ), f"stale word at {vertex} after insert/remove round-trip"

@@ -288,7 +288,7 @@ class TestCheckpointResume:
             pass
 
         class KillAfterGlobal(BonnRouteFlow):
-            def _corridors_from_routes(self, global_result):
+            def _detailed_router(self, space, session):
                 raise Killed()
 
         with pytest.raises(Killed):
