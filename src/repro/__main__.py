@@ -79,6 +79,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 stage_budget_s=args.stage_budget,
                 checkpoint_path=args.checkpoint,
                 resume=args.resume,
+                workers=args.workers,
+                region_timeout_s=args.region_timeout,
             ).run()
         except CheckpointError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -246,8 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard wall-clock budget per routing stage",
     )
     route.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="route each partition round's regions on N worker "
+        "processes under a crash-tolerant supervisor (1 = in-process "
+        "serial; results are bit-identical either way)",
+    )
+    route.add_argument(
+        "--region-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-region deadline for pool workers; a worker past the "
+        "deadline is killed and its region retried (then degraded to "
+        "in-process serial routing)",
+    )
+    route.add_argument(
         "--checkpoint", default=None, metavar="PATH",
-        help="write stage checkpoints to PATH (JSON)",
+        help="write stage checkpoints to PATH (JSON); with --workers, "
+        "also a round-granular checkpoint after each partition round",
     )
     route.add_argument(
         "--resume", action="store_true",
@@ -262,8 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--inject-faults", action="append", default=None, metavar="SPEC",
         help="deterministic fault injection, e.g. "
-        "'path_search:0.1' or 'steiner_oracle:0.05:raise:inf' "
-        "(site:fraction[:kind[:fires]]); repeatable",
+        "'path_search:0.1', 'steiner_oracle:0.05:raise:inf' or "
+        "'worker:0.2:kill' (site:fraction[:kind[:fires[:stall_s]]]); "
+        "repeatable",
     )
     route.add_argument(
         "--obs", action="store_true",

@@ -14,6 +14,7 @@ balance statistics are the paper's.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chip.design import Chip
@@ -29,17 +30,65 @@ class PartitionRound:
         #: Nets must stay this far inside a region to be routable in it
         #: (changes near borders could affect neighbouring threads).
         self.safety_margin = safety_margin
+        #: Cut x-coordinates between consecutive regions, when the
+        #: regions form the x-slab partition :func:`partition_sequence`
+        #: builds (sorted, contiguous, full-height).  ``region_of`` then
+        #: bisects instead of scanning; irregular region lists (hand
+        #: built in tests) keep the linear scan.
+        self._cut_xs: Optional[List[int]] = self._slab_cuts(regions)
 
-    def region_of(self, box: Rect) -> Optional[int]:
-        """Region index whose safe interior contains ``box``, or None."""
-        for index, region in enumerate(self.regions):
-            safe = Rect(
+    @staticmethod
+    def _slab_cuts(regions: Sequence[Rect]) -> Optional[List[int]]:
+        if not regions:
+            return None
+        first = regions[0]
+        for prev, here in zip(regions, regions[1:]):
+            if here.x_lo != prev.x_hi:
+                return None
+            if here.y_lo != first.y_lo or here.y_hi != first.y_hi:
+                return None
+        return [region.x_hi for region in regions[:-1]]
+
+    def _safe_interior(self, index: int) -> Rect:
+        region = self.regions[index]
+        if (
+            region.width > 2 * self.safety_margin
+            and region.height > 2 * self.safety_margin
+        ):
+            return Rect(
                 region.x_lo + self.safety_margin if region.x_lo > 0 else region.x_lo,
                 region.y_lo + self.safety_margin if region.y_lo > 0 else region.y_lo,
                 region.x_hi - self.safety_margin,
                 region.y_hi - self.safety_margin,
-            ) if region.width > 2 * self.safety_margin and region.height > 2 * self.safety_margin else region
-            if safe.contains_rect(box):
+            )
+        return region
+
+    def region_of(self, box: Rect) -> Optional[int]:
+        """Region index whose safe interior contains ``box``, or None.
+
+        The regions tile the x-axis, so only the slab containing
+        ``box.x_lo`` can contain the box; bisection over the stored cut
+        coordinates finds it in O(log regions).  When ``box.x_lo`` sits
+        exactly on a cut, the slab left of the cut is checked too (its
+        closed upper edge also covers the coordinate), preserving the
+        first-match order of the former linear scan.
+        """
+        if self._cut_xs is None:
+            return self._region_of_linear(box)
+        candidate = bisect_right(self._cut_xs, box.x_lo)
+        if candidate > 0 and self._cut_xs[candidate - 1] == box.x_lo:
+            if self._safe_interior(candidate - 1).contains_rect(box):
+                return candidate - 1
+        if candidate < len(self.regions):
+            if self._safe_interior(candidate).contains_rect(box):
+                return candidate
+        return None
+
+    def _region_of_linear(self, box: Rect) -> Optional[int]:
+        """Reference O(regions) scan (kept for irregular regions and as
+        the oracle for the bisection's equivalence test)."""
+        for index in range(len(self.regions)):
+            if self._safe_interior(index).contains_rect(box):
                 return index
         return None
 

@@ -31,7 +31,9 @@ from repro.droute.connect import ConnectionStats, NetConnector
 from repro.droute.future_cost import SearchCosts
 from repro.droute.partition import assign_nets_to_rounds, partition_sequence
 from repro.droute.pinaccess import PinAccessPlanner
+from repro.droute.route import ViaInstance
 from repro.droute.space import RoutingSpace
+from repro.tech.wiring import StickFigure
 from repro.flow.resilience import (
     Deadline,
     EscalationRung,
@@ -75,6 +77,13 @@ class DetailedRoutingResult:
         self.escalations = 0
         #: Set when the hard stage budget expired with nets still queued.
         self.stage_budget_exhausted = False
+        #: Worker-pool incidents (crashes, timeouts, degradations) when
+        #: the run executed with ``workers > 1``; plain dicts, folded
+        #: into :class:`~repro.flow.resilience.FlowFailureReport`.
+        self.pool_events: List[Dict[str, object]] = []
+        #: Set when the worker pool degraded to in-process serial
+        #: execution for the remainder of the run.
+        self.pool_degraded = False
 
     @property
     def opens(self) -> int:
@@ -96,7 +105,43 @@ class DetailedRoutingResult:
             "escalations": self.escalations,
             "recovered": len(self.recovered),
             "stage_budget_exhausted": self.stage_budget_exhausted,
+            "pool_events": len(self.pool_events),
+            "pool_degraded": self.pool_degraded,
         }
+
+
+class _RunState:
+    """Cross-queue bookkeeping of one detailed-routing run.
+
+    The retry ladder may be driven by several queue drains (critical
+    nets, then per-round serial or post-merge redo queues); attempt
+    counts, rung histories and the ripped-net log must survive across
+    them so the ping-pong guard and failure records see the whole run.
+    """
+
+    __slots__ = (
+        "nets_by_name",
+        "attempt_counts",
+        "rungs_tried",
+        "last_error",
+        "ripped_names",
+    )
+
+    def __init__(self, nets: Sequence[Net]) -> None:
+        self.nets_by_name: Dict[str, Net] = {net.name: net for net in nets}
+        self.attempt_counts: Dict[str, int] = {}
+        #: Ladder rungs attempted and last error text, per net.
+        self.rungs_tried: Dict[str, List[str]] = {}
+        self.last_error: Dict[str, Optional[str]] = {}
+        #: Nets whose previous wiring was ripped out at least once.
+        self.ripped_names: Set[str] = set()
+
+    def merge_worker(self, attempts: Dict[str, int]) -> None:
+        """Fold a worker's attempt counts in (workers start fresh, so
+        the larger count is the true total for each net)."""
+        for name, count in attempts.items():
+            if count > self.attempt_counts.get(name, 0):
+                self.attempt_counts[name] = count
 
 
 class DetailedRouter:
@@ -118,9 +163,26 @@ class DetailedRouter:
         stage_budget_s: Optional[float] = None,
         retry_policy: Optional[NetRetryPolicy] = None,
         session=None,
+        workers: int = 1,
+        region_timeout_s: Optional[float] = None,
+        round_checkpoint=None,
     ) -> None:
         self.space = space
         self.chip = space.chip
+        #: Number of real worker processes for the partition rounds
+        #: (Sec. 5.1); 1 keeps the historical single-process path.
+        #: ``threads`` still controls the partition *structure* (region
+        #: counts per round), so the net order — and therefore the
+        #: routing result — is independent of the worker count.
+        self.workers = max(1, int(workers))
+        #: Per-region wall-clock deadline the pool supervisor enforces on
+        #: workers (None: no deadline; hung workers are then only bounded
+        #: by the stage budget).
+        self.region_timeout_s = region_timeout_s
+        #: Optional callable ``(round_index, result) -> None`` invoked
+        #: after each completed partition round (parallel path only);
+        #: the flow uses it for round-granular checkpoints.
+        self.round_checkpoint = round_checkpoint
         #: Optional :class:`repro.engine.session.RoutingSession`.  When
         #: set, corridors/detours come from the session records, the pin
         #: access planner and reserved access paths persist on the
@@ -279,37 +341,67 @@ class DetailedRouter:
         if self.enable_pin_access:
             with OBS.trace("droute.pin_access", nets=len(nets)):
                 self.preprocess_pin_access(nets)
-        queue: List[Tuple[Net, int]] = [(net, 0) for net in self._order_nets(nets)]
-        nets_by_name = {net.name: net for net in nets}
-        attempt_counts: Dict[str, int] = {}
-        #: Ladder rungs attempted and last error text, per net.
-        rungs_tried: Dict[str, List[str]] = {}
-        last_error: Dict[str, Optional[str]] = {}
+        state = _RunState(nets)
+        if self.workers > 1:
+            self._run_parallel(list(nets), result, state, stage_deadline)
+        else:
+            queue = [(net, 0) for net in self._order_nets(nets)]
+            self._route_queue(queue, result, state, stage_deadline)
+        result.wire_length = self.space.total_wire_length()
+        result.via_count = self.space.total_via_count()
+        result.runtime = time.time() - start
+        result.access_cache_hits = self.planner.cache_hits
+        result.access_cache_misses = self.planner.cache_misses
+        return result
 
-        def record_failure(
-            net: Net, reason: str, open_connections: int = 0
-        ) -> None:
-            result.failed.add(net.name)
-            result.routed.discard(net.name)
-            result.failures[net.name] = NetFailure(
-                net.name,
-                STAGE_NAME,
-                reason,
-                attempts=attempt_counts.get(net.name, 0),
-                rungs_tried=rungs_tried.get(net.name, []),
-                error=last_error.get(net.name),
-                open_connections=open_connections,
+    def _record_failure(
+        self,
+        result: DetailedRoutingResult,
+        state: _RunState,
+        net: Net,
+        reason: str,
+        open_connections: int = 0,
+    ) -> None:
+        result.failed.add(net.name)
+        result.routed.discard(net.name)
+        result.failures[net.name] = NetFailure(
+            net.name,
+            STAGE_NAME,
+            reason,
+            attempts=state.attempt_counts.get(net.name, 0),
+            rungs_tried=state.rungs_tried.get(net.name, []),
+            error=state.last_error.get(net.name),
+            open_connections=open_connections,
+        )
+        if OBS.enabled:
+            OBS.count("droute.nets_failed")
+            OBS.event(
+                "resilience.net_failure",
+                net=net.name,
+                reason=reason,
+                attempts=state.attempt_counts.get(net.name, 0),
+                opens=open_connections,
             )
-            if OBS.enabled:
-                OBS.count("droute.nets_failed")
-                OBS.event(
-                    "resilience.net_failure",
-                    net=net.name,
-                    reason=reason,
-                    attempts=attempt_counts.get(net.name, 0),
-                    opens=open_connections,
-                )
 
+    def _route_queue(
+        self,
+        queue: List[Tuple[Net, int]],
+        result: DetailedRoutingResult,
+        state: _RunState,
+        stage_deadline: Optional[Deadline],
+        defer: Optional[List[Tuple[Net, int]]] = None,
+    ) -> None:
+        """Drain ``queue`` through the escalation ladder.
+
+        This is the historical serial main loop.  ``defer`` changes one
+        thing only: retries and re-queued ripped nets append to that
+        list instead of ``queue``.  The parallel path routes sub-queues
+        (critical nets, per-round serial redo) with a shared ``defer``
+        list and drains it at the very end — which lands every deferred
+        net in exactly the position the single-queue serial run would
+        have given it (appends always land behind all first attempts).
+        """
+        retry_sink = defer if defer is not None else queue
         while queue:
             if stage_deadline is not None and stage_deadline.expired:
                 # Hard budget: everything still queued becomes a
@@ -318,15 +410,21 @@ class DetailedRouter:
                 for net, _attempt in queue:
                     if net.name in result.routed or net.name in result.failed:
                         continue
-                    record_failure(net, REASON_STAGE_BUDGET, open_connections=1)
+                    self._record_failure(
+                        result, state, net, REASON_STAGE_BUDGET, open_connections=1
+                    )
                     result.open_connections += 1
                 break
             net, attempt = queue.pop(0)
-            attempt_counts[net.name] = attempt_counts.get(net.name, 0) + 1
-            if attempt_counts[net.name] > len(self.ladder) + 2:
+            state.attempt_counts[net.name] = (
+                state.attempt_counts.get(net.name, 0) + 1
+            )
+            if state.attempt_counts[net.name] > len(self.ladder) + 2:
                 # Ripup ping-pong guard: a net bounced around this often
                 # is declared open rather than looping forever.
-                record_failure(net, REASON_UNROUTABLE, open_connections=1)
+                self._record_failure(
+                    result, state, net, REASON_UNROUTABLE, open_connections=1
+                )
                 result.open_connections += 1
                 continue
             if attempt > 0:
@@ -348,9 +446,12 @@ class DetailedRouter:
                     OBS.event(
                         "resilience.escalation", net=net.name, rung=rung.name
                     )
-            rungs_tried.setdefault(net.name, [])
-            if not rungs_tried[net.name] or rungs_tried[net.name][-1] != rung.name:
-                rungs_tried[net.name].append(rung.name)
+            state.rungs_tried.setdefault(net.name, [])
+            if (
+                not state.rungs_tried[net.name]
+                or state.rungs_tried[net.name][-1] != rung.name
+            ):
+                state.rungs_tried[net.name].append(rung.name)
             area, detour = self._area_for(net, expansion=rung.corridor_expansion)
             connector = (
                 self._fallback_connector()
@@ -375,7 +476,7 @@ class DetailedRouter:
             except Exception as error:  # noqa: BLE001 - isolation boundary
                 # Per-net isolation: an injected or genuine fault in the
                 # search machinery costs one attempt, not the chip.
-                last_error[net.name] = f"{type(error).__name__}: {error}"
+                state.last_error[net.name] = f"{type(error).__name__}: {error}"
                 failure_reason = REASON_EXCEPTION
             if connection is not None:
                 result.stats.merge(connection.stats)
@@ -386,7 +487,7 @@ class DetailedRouter:
                             "droute.ripup_events", len(connection.ripped_nets)
                         )
                     for ripped_name in connection.ripped_nets:
-                        ripped_net = nets_by_name.get(ripped_name)
+                        ripped_net = state.nets_by_name.get(ripped_name)
                         if ripped_net is None and self.session is not None:
                             # ECO pass: a clean net outside the dirty
                             # subset was ripped; pull it into this run so
@@ -394,16 +495,17 @@ class DetailedRouter:
                             # propagation.
                             ripped_net = self.session.net_or_none(ripped_name)
                             if ripped_net is not None:
-                                nets_by_name[ripped_name] = ripped_net
+                                state.nets_by_name[ripped_name] = ripped_net
                                 self.session.mark_ripup_propagated(ripped_name)
                         if ripped_net is None:
                             continue
+                        state.ripped_names.add(ripped_name)
                         result.routed.discard(ripped_name)
-                        queue.append(
-                            (ripped_net, attempt_counts.get(ripped_name, 0))
+                        retry_sink.append(
+                            (ripped_net, state.attempt_counts.get(ripped_name, 0))
                         )
                 if connection.deadline_expired:
-                    last_error[net.name] = "soft deadline expired mid-search"
+                    state.last_error[net.name] = "soft deadline expired mid-search"
                     failure_reason = REASON_TIMEOUT
                 elif connection.success:
                     result.routed.add(net.name)
@@ -425,18 +527,236 @@ class DetailedRouter:
             if next_attempt < len(self.ladder) and self.retry_policy.allows(
                 next_attempt
             ):
-                queue.append((net, next_attempt))
+                retry_sink.append((net, next_attempt))
             else:
                 opens = (
                     connection.open_connections
                     if connection is not None and connection.open_connections
                     else 1
                 )
-                record_failure(net, failure_reason or REASON_UNROUTABLE, opens)
+                self._record_failure(
+                    result, state, net, failure_reason or REASON_UNROUTABLE, opens
+                )
                 result.open_connections += opens
-        result.wire_length = self.space.total_wire_length()
-        result.via_count = self.space.total_via_count()
-        result.runtime = time.time() - start
-        result.access_cache_hits = self.planner.cache_hits
-        result.access_cache_misses = self.planner.cache_misses
-        return result
+
+    # ------------------------------------------------------------------
+    # Parallel execution (Sec. 5.1 with real worker processes)
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        nets: List[Net],
+        result: DetailedRoutingResult,
+        state: _RunState,
+        stage_deadline: Optional[Deadline],
+    ) -> None:
+        """Partition rounds on a crash-tolerant worker pool.
+
+        Workers run *first attempts only* (the baseline rung forbids
+        ripup, so first attempts never disturb other nets' wiring); every
+        failed first attempt is deferred to a parent-side queue drained
+        serially after the last round.  Appends to the single serial
+        queue always land behind all first attempts, so this split
+        reproduces the serial net order exactly — N-worker output is
+        bit-identical to serial whenever the Sec. 5.1 safety margins keep
+        the regions' first attempts independent (merge detects and
+        serially redoes the rare violations).
+        """
+        from repro.droute import pool as pool_mod
+
+        if not pool_mod.fork_available():
+            result.pool_degraded = True
+            result.pool_events.append(
+                {"kind": "pool_unavailable", "detail": "fork start method unavailable"}
+            )
+            if OBS.enabled:
+                OBS.count("pool.degraded")
+                OBS.event("pool.degraded", reason="no_fork")
+            queue = [(net, 0) for net in self._order_nets(nets)]
+            self._route_queue(queue, result, state, stage_deadline)
+            return
+        critical = sorted(
+            (n for n in nets if n.weight > 1.0),
+            key=lambda n: (-n.weight, n.half_perimeter()),
+        )
+        ordinary = [n for n in nets if n.weight <= 1.0]
+        sequence = partition_sequence(self.chip, self.threads)
+        rounds = assign_nets_to_rounds(self.chip, sequence, ordinary)
+        deferred: List[Tuple[Net, int]] = []
+        if critical:
+            self._route_queue(
+                [(net, 0) for net in critical],
+                result, state, stage_deadline, defer=deferred,
+            )
+        supervisor = pool_mod.PoolSupervisor(
+            self,
+            result,
+            workers=self.workers,
+            region_timeout_s=self.region_timeout_s,
+        )
+        for round_index, round_nets in enumerate(rounds):
+            ordered = sorted(
+                round_nets, key=lambda item: (item[0], item[1].half_perimeter())
+            )
+            by_region: Dict[int, List[Net]] = {}
+            for region, net in ordered:
+                by_region.setdefault(region, []).append(net)
+            budget_left = stage_deadline is None or not stage_deadline.expired
+            if ordered and len(by_region) > 1 and budget_left and not supervisor.degraded:
+                round_start = time.time()
+                with OBS.trace(
+                    "pool.round",
+                    round=round_index,
+                    regions=len(by_region),
+                    nets=len(ordered),
+                ):
+                    outcomes = supervisor.run_round(
+                        round_index, by_region, stage_deadline
+                    )
+                if OBS.enabled:
+                    OBS.count("pool.rounds_parallel")
+                    OBS.observe("pool.round_wall_s", time.time() - round_start)
+                self._merge_outcomes(
+                    by_region, outcomes, result, state, stage_deadline, deferred
+                )
+            elif ordered:
+                if OBS.enabled:
+                    OBS.count("pool.rounds_serial")
+                self._route_queue(
+                    [(net, 0) for _region, net in ordered],
+                    result, state, stage_deadline, defer=deferred,
+                )
+            if self.round_checkpoint is not None:
+                self.round_checkpoint(round_index, result)
+        result.pool_degraded = result.pool_degraded or supervisor.degraded
+        # Global drain: retries, escalations and re-queued ripped nets,
+        # in the exact order the single-queue serial run appends them.
+        self._route_queue(deferred, result, state, stage_deadline)
+
+    def _merge_outcomes(
+        self,
+        by_region: Dict[int, List[Net]],
+        outcomes: Dict[int, Optional[Dict[str, object]]],
+        result: DetailedRoutingResult,
+        state: _RunState,
+        stage_deadline: Optional[Deadline],
+        deferred: List[Tuple[Net, int]],
+    ) -> None:
+        """Fold one round's worker outcomes back into the parent state.
+
+        Regions merge in index order (the serial processing order).  A
+        worker-routed net commits only if its wiring is still DRC-legal
+        against everything merged before it; conflicts — possible only
+        when the safety margins were too tight — are redone in-process
+        immediately, at the net's serial queue position.
+        """
+        merged = 0
+        conflicts = 0
+        with OBS.trace("pool.merge", regions=len(by_region)):
+            for region_index in sorted(by_region):
+                region_nets = by_region[region_index]
+                outcome = outcomes.get(region_index)
+                if outcome is None:
+                    # The region's worker(s) died beyond the retry budget
+                    # (or the pool degraded): route it in-process at its
+                    # serial position.
+                    self._route_queue(
+                        [(net, 0) for net in region_nets],
+                        result, state, stage_deadline, defer=deferred,
+                    )
+                    continue
+                result.stats.merge(outcome["stats"])
+                state.merge_worker(outcome["attempts"])
+                state.last_error.update(outcome["errors"])
+                redo: List[Tuple[Net, int]] = []
+                for name in outcome["order"]:
+                    state.rungs_tried.setdefault(name, [])
+                    if (
+                        not state.rungs_tried[name]
+                        or state.rungs_tried[name][-1] != "baseline"
+                    ):
+                        state.rungs_tried[name].append("baseline")
+                    payload = outcome["routed"].get(name)
+                    if payload is None:
+                        # Failed first attempt: defer exactly like the
+                        # serial loop's `queue.append((net, 1))`.
+                        deferred.append((state.nets_by_name[name], 1))
+                        continue
+                    if self._replay_worker_route(name, payload):
+                        merged += 1
+                        result.routed.add(name)
+                    else:
+                        conflicts += 1
+                        redo.append((state.nets_by_name[name], 0))
+                        if OBS.enabled:
+                            OBS.event(
+                                "pool.merge_conflict",
+                                net=name, region=region_index,
+                            )
+                if OBS.enabled and outcome["obs_counters"]:
+                    for counter_name, delta in outcome["obs_counters"].items():
+                        OBS.count(counter_name, delta)
+                if redo:
+                    # The worker's route no longer fits: re-search in the
+                    # parent.  Attempt counts already include the
+                    # worker's try, so pre-decrement to keep the ladder
+                    # arithmetic identical to a single in-process attempt.
+                    for net, _attempt in redo:
+                        state.attempt_counts[net.name] = max(
+                            0, state.attempt_counts.get(net.name, 0) - 1
+                        )
+                    self._route_queue(
+                        redo, result, state, stage_deadline, defer=deferred
+                    )
+        if OBS.enabled:
+            OBS.count("pool.nets_merged", merged)
+            if conflicts:
+                OBS.count("pool.merge_conflicts", conflicts)
+
+    def _replay_worker_route(self, name: str, payload) -> bool:
+        """Commit a worker's serialized route if still DRC-legal here."""
+        wires, vias = payload
+        for type_name, level, layer, x0, y0, x1, y1 in wires:
+            stick = StickFigure(layer, x0, y0, x1, y1)
+            if not self.space.check_wire(type_name, stick, name).legal:
+                return False
+        for type_name, level, via_layer, x, y in vias:
+            via = ViaInstance(via_layer, x, y)
+            if not self.space.check_via(type_name, via, name).legal:
+                return False
+        for type_name, level, layer, x0, y0, x1, y1 in wires:
+            self.space.add_wire(
+                name, type_name, StickFigure(layer, x0, y0, x1, y1),
+                level, off_track=True,
+            )
+        for type_name, level, via_layer, x, y in vias:
+            self.space.add_via(
+                name, type_name, ViaInstance(via_layer, x, y),
+                level, off_track=True,
+            )
+        return True
+
+    def first_attempt(self, net: Net, stage_deadline: Optional[Deadline] = None):
+        """One baseline-rung attempt; the worker-process routing step.
+
+        Returns ``(connection_or_None, error_text_or_None)``; commits
+        wiring into ``self.space`` on success, exactly like the first
+        iteration of :meth:`_route_queue` for a fresh net.
+        """
+        rung = self.ladder[0]
+        area, detour = self._area_for(net, expansion=rung.corridor_expansion)
+        deadline = self._attempt_deadline(stage_deadline)
+        try:
+            with OBS.trace(
+                "droute.net", net=net.name, attempt=0, rung=rung.name
+            ):
+                connection = self.connector.connect_net(
+                    net,
+                    area,
+                    max_ripup_level=rung.ripup_level,
+                    corridor_detour=detour,
+                    deadline=deadline,
+                    force_off_track_access=rung.force_off_track_access,
+                )
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            return None, f"{type(error).__name__}: {error}"
+        return connection, None

@@ -157,6 +157,8 @@ class RoutingSession:
         corridor_margin_tiles: int = 1,
         eco_phases: Optional[int] = None,
         track_plan: Optional[TrackPlan] = None,
+        workers: int = 1,
+        region_timeout_s: Optional[float] = None,
     ) -> None:
         self.chip = chip
         self.plan = track_plan if track_plan is not None else build_track_plan(chip)
@@ -166,6 +168,10 @@ class RoutingSession:
         self.threads = threads
         self.seed = seed
         self.corridor_margin_tiles = corridor_margin_tiles
+        #: Worker-pool settings forwarded to every DetailedRouter bound
+        #: to this session (full runs via the flow and ECO reroutes).
+        self.workers = max(1, int(workers))
+        self.region_timeout_s = region_timeout_s
         #: Sharing phases per ECO pass: warm-started prices converge much
         #: faster than a cold solve, so a fraction of the full phase
         #: count suffices (Sec. 2.3's reuse argument applied to ECOs).
@@ -597,6 +603,8 @@ class RoutingSession:
                 self.space,
                 threads=self.threads,
                 session=self,
+                workers=self.workers,
+                region_timeout_s=self.region_timeout_s,
             )
             result = detailed.run(dirty_nets)
             report.ripups_propagated = len(self.dirty.propagated_names())

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.baseline.cleanup import CleanupReport, DrcCleanup
 from repro.chip.design import Chip
 from repro.chip.net import Net
+from repro.droute.route import NetRoute
 from repro.droute.router import DetailedRouter, DetailedRoutingResult
 from repro.droute.space import RoutingSpace
 from repro.flow.faults import FaultInjector, FaultPlan
@@ -86,6 +87,8 @@ class BonnRouteFlow:
         checkpoint_path: Optional[str] = None,
         resume: bool = False,
         session=None,
+        workers: int = 1,
+        region_timeout_s: Optional[float] = None,
     ) -> None:
         self.chip = chip
         #: The engine session this flow writes into.  Created lazily in
@@ -107,6 +110,12 @@ class BonnRouteFlow:
         self.stage_budget_s = stage_budget_s
         self.checkpoint_path = checkpoint_path
         self.resume = resume
+        #: Worker processes for the main detailed stage (Sec. 5.1);
+        #: 1 keeps the single-process path.  ``threads`` still defines
+        #: the partition structure, so results are worker-count
+        #: independent.
+        self.workers = max(1, int(workers))
+        self.region_timeout_s = region_timeout_s
 
     # ------------------------------------------------------------------
     # Checkpoint helpers
@@ -147,7 +156,13 @@ class BonnRouteFlow:
         local_nets: Sequence[str],
         prerouted: Sequence[str],
         detailed: Optional[Dict[str, object]] = None,
+        detailed_partial: Optional[Dict[str, object]] = None,
+        wiring: Optional[Dict[str, NetRoute]] = None,
     ) -> None:
+        """``wiring`` overrides the dumped routes (default: all of
+        ``space.routes``); round-granular checkpoints use it to drop
+        unresolved nets' reserved access paths, which the resumed run
+        re-plans itself."""
         if self.checkpoint_path is None:
             return
         checkpoint = build_checkpoint(
@@ -155,7 +170,7 @@ class BonnRouteFlow:
             self.chip.name,
             self.seed,
             tile_size,
-            space.routes,
+            space.routes if wiring is None else wiring,
             global_routes,
             sorted(local_nets),
             sorted(prerouted),
@@ -165,6 +180,7 @@ class BonnRouteFlow:
                 if self.session is not None
                 else None
             ),
+            detailed_partial=detailed_partial,
         )
         save_checkpoint(self.checkpoint_path, checkpoint)
 
@@ -184,6 +200,28 @@ class BonnRouteFlow:
                 for failure in detailed_result.failures.values()
             ],
         }
+
+    @staticmethod
+    def _fold_partial(
+        into: DetailedRoutingResult, partial: DetailedRoutingResult
+    ) -> None:
+        """Fold a resumed mid-detailed partial result into ``into``.
+
+        The partial's nets were excluded from the resumed run, so the
+        current run's records always win on overlap (a net can only
+        overlap when the partial had it failed and a later phase pulled
+        it back in).
+        """
+        into.routed |= partial.routed
+        into.failed |= partial.failed - into.routed
+        for name, failure in partial.failures.items():
+            if name not in into.routed:
+                into.failures.setdefault(name, failure)
+        into.open_connections += partial.open_connections
+        into.retries += partial.retries
+        into.escalations += partial.escalations
+        for name, rung in partial.recovered.items():
+            into.recovered.setdefault(name, rung)
 
     def _detailed_result_from_data(
         self, data: Dict[str, object]
@@ -311,6 +349,8 @@ class BonnRouteFlow:
             net_deadline_s=self.net_timeout_s,
             stage_budget_s=self.stage_budget_s,
             session=session,
+            workers=self.workers,
+            region_timeout_s=self.region_timeout_s,
         )
 
     # ------------------------------------------------------------------
@@ -344,6 +384,8 @@ class BonnRouteFlow:
                 threads=self.threads,
                 seed=self.seed,
                 corridor_margin_tiles=self.corridor_margin_tiles,
+                workers=self.workers,
+                region_timeout_s=self.region_timeout_s,
             )
         session = self.session
         result.session = session
@@ -394,12 +436,68 @@ class BonnRouteFlow:
             )
 
         if detailed_result is None:
+            # A round-granular partial (written by the parallel pool
+            # after each partition round) lets the resume skip nets
+            # already resolved before the kill; their wiring was
+            # re-committed by _replay_routes above.
+            partial_result: Optional[DetailedRoutingResult] = None
+            if checkpoint is not None and checkpoint.get("detailed_partial"):
+                partial_data = checkpoint["detailed_partial"]
+                partial_result = self._detailed_result_from_data(
+                    partial_data.get("summary") or {}
+                )
+                report.resumed_from = (
+                    f"{STAGE_GLOBAL}+round{int(partial_data.get('rounds_done', 0))}"
+                )
+            resolved = (
+                partial_result.routed | partial_result.failed
+                if partial_result is not None
+                else set()
+            )
             remaining = [
-                net for net in self.chip.nets if net.name not in prerouted
+                net
+                for net in self.chip.nets
+                if net.name not in prerouted and net.name not in resolved
             ]
             detailed = self._detailed_router(space, session)
+            if self.checkpoint_path is not None:
+
+                def _round_checkpoint(round_index, running_result):
+                    snapshot = self._detailed_result_from_data(
+                        self._detailed_summary_data(running_result)
+                    )
+                    if partial_result is not None:
+                        self._fold_partial(snapshot, partial_result)
+                    # Unresolved nets only hold reserved pin-access
+                    # wiring at this point; the resumed run re-plans and
+                    # re-reserves those itself, so dumping them would
+                    # duplicate that wiring on replay.
+                    unresolved = {
+                        net.name for net in self.chip.nets
+                    } - snapshot.routed - snapshot.failed - set(prerouted)
+                    self._save_checkpoint(
+                        STAGE_GLOBAL,
+                        space,
+                        global_result.graph.tile_size,
+                        global_result.routes,
+                        global_result.local_nets,
+                        prerouted,
+                        detailed_partial={
+                            "rounds_done": round_index + 1,
+                            "summary": self._detailed_summary_data(snapshot),
+                        },
+                        wiring={
+                            name: route
+                            for name, route in space.routes.items()
+                            if name not in unresolved
+                        },
+                    )
+
+                detailed.round_checkpoint = _round_checkpoint
             with OBS.trace("flow.detailed", nets=len(remaining)):
                 detailed_result = detailed.run(remaining)
+            if partial_result is not None:
+                self._fold_partial(detailed_result, partial_result)
             session.ingest_detailed(detailed_result)
             self._save_checkpoint(
                 STAGE_DETAILED,

@@ -12,24 +12,44 @@ nets.  Injection sites are checked at the natural isolation boundaries:
 * ``path_search``   — the detailed router's per-net path search
   (:mod:`repro.droute.connect`);
 * ``pin_access``    — catalogue construction per pin
-  (:mod:`repro.droute.pinaccess`).
+  (:mod:`repro.droute.pinaccess`);
+* ``worker``        — the parallel detailed-routing worker loop
+  (:mod:`repro.droute.pool`); only fires inside pool worker processes
+  (:meth:`FaultInjector.enter_worker`), so a plan carrying worker
+  faults behaves identically under ``--workers 1``.
 
 Net selection is deterministic: explicit name lists, or a fraction of
 nets picked by a seeded stable hash, so the same plan + seed injects the
-same faults run after run.
+same faults run after run.  Worker processes inherit the injector by
+fork and additionally receive the plan + fire-state explicitly
+(:meth:`FaultInjector.state` / :meth:`FaultInjector.merge_child_state`),
+so per-net transient budgets stay consistent across process boundaries.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import zlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Valid injection sites.
-FAULT_SITES = ("steiner_oracle", "rounding", "path_search", "pin_access")
+FAULT_SITES = (
+    "steiner_oracle", "rounding", "path_search", "pin_access", "worker",
+)
+#: The site checked inside pool worker processes only.
+SITE_WORKER = "worker"
 
 KIND_RAISE = "raise"
 KIND_STALL = "stall"
+#: Simulated hard crash: the worker process exits immediately without
+#: cleanup (``os._exit``), as a segfault or OOM kill would.  Only
+#: meaningful at the ``worker`` site; ignored outside worker processes.
+KIND_KILL = "kill"
+
+#: Exit code of a worker killed by an injected ``kill`` fault, so tests
+#: and the pool supervisor can tell injected crashes from genuine ones.
+KILLED_EXIT_CODE = 43
 
 
 class InjectedFault(Exception):
@@ -72,8 +92,14 @@ class FaultSpec:
             raise ValueError(
                 f"unknown fault site {site!r}; valid sites: {FAULT_SITES}"
             )
-        if kind not in (KIND_RAISE, KIND_STALL):
+        if kind not in (KIND_RAISE, KIND_STALL, KIND_KILL):
             raise ValueError(f"unknown fault kind {kind!r}")
+        if kind == KIND_KILL and site != SITE_WORKER:
+            raise ValueError(
+                f"kind {KIND_KILL!r} is only valid at site {SITE_WORKER!r} "
+                f"(got {site!r}); a kill outside a worker process would "
+                "abort the whole run"
+            )
         if (nets is None) == (fraction is None):
             raise ValueError("specify exactly one of nets= or fraction=")
         self.site = site
@@ -114,18 +140,21 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, texts: Sequence[str], seed: int = 0) -> "FaultPlan":
-        """Parse CLI specs of the form ``site:fraction[:kind[:fires]]``.
+        """Parse CLI specs: ``site:fraction[:kind[:fires[:stall_s]]]``.
 
         Examples: ``path_search:0.1``, ``steiner_oracle:0.05:raise``,
-        ``path_search:0.1:stall:2``.  ``fires`` of ``inf`` makes the
-        fault persistent.
+        ``path_search:0.1:stall:2``, ``worker:0.2:stall:1:30``.
+        ``fires`` of ``inf`` makes the fault persistent; ``stall_s``
+        gives stall faults a duration (how long the victim hangs —
+        without it a stall only records that it fired).
         """
         plan = cls(seed=seed)
         for text in texts:
             parts = text.split(":")
             if len(parts) < 2:
                 raise ValueError(
-                    f"bad fault spec {text!r}; expected site:fraction[:kind[:fires]]"
+                    f"bad fault spec {text!r}; expected "
+                    "site:fraction[:kind[:fires[:stall_s]]]"
                 )
             site = parts[0]
             fraction = float(parts[1])
@@ -133,8 +162,15 @@ class FaultPlan:
             fires: Optional[int] = 1
             if len(parts) > 3:
                 fires = None if parts[3] == "inf" else int(parts[3])
+            stall_s = float(parts[4]) if len(parts) > 4 else 0.0
             plan.add(
-                FaultSpec(site, fraction=fraction, kind=kind, fires_per_net=fires)
+                FaultSpec(
+                    site,
+                    fraction=fraction,
+                    kind=kind,
+                    fires_per_net=fires,
+                    stall_s=stall_s,
+                )
             )
         return plan
 
@@ -148,6 +184,30 @@ class FaultPlan:
                 for spec in self.specs
             )
         ]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON/pickle-safe form, for propagation into worker processes."""
+        return {
+            "seed": self.seed,
+            "specs": [spec.as_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        plan = cls(seed=int(data.get("seed", 0)))
+        for record in data.get("specs", ()):
+            nets = record.get("nets")
+            plan.add(
+                FaultSpec(
+                    str(record["site"]),
+                    nets=nets if nets is not None else None,
+                    fraction=record.get("fraction"),
+                    kind=str(record.get("kind", KIND_RAISE)),
+                    stall_s=float(record.get("stall_s", 0.0)),
+                    fires_per_net=record.get("fires_per_net"),
+                )
+            )
+        return plan
 
 
 class FaultInjector:
@@ -163,9 +223,20 @@ class FaultInjector:
         self._fires: Dict[Tuple[int, str], int] = {}
         #: Every fired event as (site, net, kind), in order.
         self.fired: List[Tuple[str, Optional[str], str]] = []
+        #: Set inside pool worker processes (:meth:`enter_worker`);
+        #: ``worker``-site faults only fire when this is true, so the
+        #: same plan behaves identically at ``--workers 1``.
+        self.in_worker = False
+
+    def enter_worker(self) -> None:
+        """Arm ``worker``-site faults: we now run inside a pool worker."""
+        self.in_worker = True
 
     def check(self, site: str, net: Optional[str] = None) -> None:
-        """Fire any matching fault: raise :class:`InjectedFault` or stall."""
+        """Fire any matching fault: raise :class:`InjectedFault`, stall,
+        or (``worker`` site, ``kill`` kind) exit the process."""
+        if site == SITE_WORKER and not self.in_worker:
+            return
         for index, spec in enumerate(self.plan.specs):
             if spec.site != site or not spec.matches(self.plan.seed, net):
                 continue
@@ -179,9 +250,82 @@ class FaultInjector:
                 if spec.stall_s > 0.0:
                     time.sleep(spec.stall_s)
                 continue
+            if spec.kind == KIND_KILL:
+                # A simulated hard crash: no exception, no cleanup, no
+                # result message — the supervisor must notice the corpse.
+                os._exit(KILLED_EXIT_CODE)
             raise InjectedFault(site, net)
 
     def fire_count(self, site: Optional[str] = None) -> int:
         if site is None:
             return len(self.fired)
         return sum(1 for fired_site, _net, _kind in self.fired if fired_site == site)
+
+    # ------------------------------------------------------------------
+    # Cross-process propagation (repro.droute.pool)
+    # ------------------------------------------------------------------
+    def state(self, fired_since: int = 0) -> Dict[str, object]:
+        """Picklable snapshot of plan + fire-state.
+
+        ``fired_since`` trims the ``fired`` log to entries appended after
+        that index, so a forked worker (which inherits the parent's whole
+        log) reports only its own deltas back.
+        """
+        return {
+            "plan": self.plan.as_dict(),
+            "fires": {
+                f"{index}:{net}": count
+                for (index, net), count in self._fires.items()
+            },
+            "fired": [list(entry) for entry in self.fired[fired_since:]],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "FaultInjector":
+        """Rebuild an injector in a process that did not inherit one."""
+        injector = cls(FaultPlan.from_dict(state.get("plan") or {}))
+        injector.merge_child_state(state)
+        return injector
+
+    def merge_child_state(self, state: Dict[str, object]) -> None:
+        """Fold a worker's fire-state back into this injector.
+
+        Fire counts merge by max (each net is routed by exactly one
+        process, so the larger count is the true one); the child's fired
+        deltas append to the log in arrival order.
+        """
+        for key, count in (state.get("fires") or {}).items():
+            index_text, _, net = key.partition(":")
+            fires_key = (int(index_text), net)
+            if count > self._fires.get(fires_key, 0):
+                self._fires[fires_key] = count
+        for entry in state.get("fired") or ():
+            site, net, kind = entry
+            self.fired.append((site, net, kind))
+
+    def charge(self, site: str, net_names: Iterable[str]) -> List[str]:
+        """Consume matching transient faults without executing them.
+
+        Called by the pool supervisor when a worker died: the corpse
+        cannot report which fault killed it, so the parent charges the
+        dead region's nets against the plan.  A transient (bounded
+        ``fires_per_net``) fault is thereby spent, and the retry on a
+        fresh worker survives — matching the single-process semantics
+        where a transient fault fires once and the retry succeeds.
+        Returns the net names charged.
+        """
+        charged: List[str] = []
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or spec.fires_per_net is None:
+                continue
+            for net in net_names:
+                if not spec.matches(self.plan.seed, net):
+                    continue
+                key = (index, net)
+                count = self._fires.get(key, 0)
+                if count >= spec.fires_per_net:
+                    continue
+                self._fires[key] = count + 1
+                self.fired.append((site, net, spec.kind))
+                charged.append(net)
+        return charged

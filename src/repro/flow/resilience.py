@@ -328,6 +328,10 @@ class FlowFailureReport:
         self.resumed_from: Optional[str] = None
         #: Oracle / rounding faults absorbed during global routing.
         self.global_faults = 0
+        #: Worker-pool incidents (crashes, timeouts, region/pool
+        #: degradations) from parallel detailed routing, as plain dicts
+        #: with at least a ``kind`` key.
+        self.pool_events: List[Dict[str, object]] = []
 
     def record_failure(self, failure: NetFailure) -> None:
         self.net_failures[failure.net_name] = failure
@@ -345,6 +349,12 @@ class FlowFailureReport:
         """
         self.retries += result.retries
         self.escalations += result.escalations
+        self.pool_events.extend(result.pool_events)
+        if result.pool_degraded:
+            self.degraded_stages.setdefault(
+                "detailed-pool",
+                "worker pool degraded to in-process serial execution",
+            )
         for name, rung in result.recovered.items():
             self.record_recovery(name, rung)
         if include_failures:
@@ -371,4 +381,5 @@ class FlowFailureReport:
             "degraded_stages": dict(self.degraded_stages),
             "resumed_from": self.resumed_from,
             "global_faults": self.global_faults,
+            "pool_events": list(self.pool_events),
         }

@@ -94,6 +94,7 @@ def build_checkpoint(
     prerouted: List[str],
     detailed: Optional[Dict[str, object]] = None,
     session: Optional[Dict[str, object]] = None,
+    detailed_partial: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Build a v2 checkpoint document.
 
@@ -101,6 +102,13 @@ def build_checkpoint(
     (:meth:`repro.engine.session.RoutingSession.session_state`): per-net
     record scalars plus the dirty set, so an ECO-capable resume restores
     exactly where the killed run stood.
+
+    ``detailed_partial`` marks a round-granular mid-detailed-routing
+    checkpoint (written by the parallel pool after each completed
+    partition round): ``{"rounds_done": k, "summary": ...}``.  The key
+    is optional and absent from stage-boundary checkpoints, so the
+    document stays a valid version-2 checkpoint either way — old readers
+    simply resume from the global stage boundary.
     """
     return {
         "schema": SCHEMA_NAME,
@@ -117,6 +125,7 @@ def build_checkpoint(
         },
         "detailed": detailed,
         "session": session,
+        "detailed_partial": detailed_partial,
     }
 
 

@@ -113,6 +113,7 @@ class TestFaultInjector:
     def test_fault_sites_cover_documented_surface(self):
         assert set(FAULT_SITES) == {
             "steiner_oracle", "rounding", "path_search", "pin_access",
+            "worker",
         }
 
 
