@@ -1,0 +1,143 @@
+"""Path-search kernel ablation: heap vs bucket vs bucket + pi_GR.
+
+Three full flows over the same chip (the table-1 quick chip), one per
+kernel configuration:
+
+* ``heap`` - the reference oracle: binary heap, classic pi_H/pi_P
+  future-cost policy.
+* ``bucket_nofc`` - the bucketed monotone queue with the classic
+  future-cost policy.  Both kernels break ties FIFO, so this run must
+  reproduce the heap run *exactly* (same labels, same wiring) - the
+  queue swap alone changes constants, never results.
+* ``bucket`` - the default: bucket queue plus the corridor-tightened
+  future cost pi_GR.  The stronger bound must cut labels pushed by at
+  least 25% against the heap reference while wiring quality stays at
+  parity.
+
+The run persists into ``BENCH_pathsearch.json``; the label/pop counters
+are gated by ``python -m repro.obs.regress``.
+"""
+
+import time
+
+from benchmarks.common import (
+    bench_observability,
+    bench_specs,
+    obs_work_counters,
+    print_table,
+    write_bench_record,
+)
+from repro.chip.generator import generate_chip
+from repro.droute.pathsearch import BucketKernel
+from repro.flow.bonnroute import BonnRouteFlow
+
+#: The kernel ablation runs on the table-1 quick chip in every mode:
+#: three full flows per extra chip would dominate the bench suite for
+#: no additional signal about the kernels.
+SPEC = bench_specs()[0]
+
+KERNELS = (
+    ("heap", lambda: "heap"),
+    ("bucket_nofc", lambda: BucketKernel(corridor_future_cost=False)),
+    ("bucket", lambda: "bucket"),
+)
+
+
+def _run_flow(kernel):
+    chip = generate_chip(SPEC)
+    start = time.time()
+    result = BonnRouteFlow(
+        chip, gr_phases=10, seed=1, search_kernel=kernel
+    ).run()
+    elapsed = time.time() - start
+    metrics = result.metrics
+    counters = obs_work_counters()
+    return {
+        "wall_s": elapsed,
+        "netlength": metrics.netlength,
+        "vias": metrics.vias,
+        "errors": metrics.errors,
+        "labels": int(counters.get("pathsearch.labels_pushed", 0)),
+        "pops": int(counters.get("pathsearch.heap_pops", 0)),
+        "processed": int(counters.get("pathsearch.vertices_processed", 0)),
+        "searches": int(counters.get("pathsearch.searches", 0)),
+        "stale_pops": int(counters.get("pathsearch.kernel.stale_pops", 0)),
+        "pi_gr_searches": int(
+            counters.get("pathsearch.kernel.pi_gr_searches", 0)
+        ),
+    }
+
+
+def test_kernel_ablation(benchmark):
+    def run():
+        out = {}
+        for name, factory in KERNELS:
+            with bench_observability():
+                out[name] = _run_flow(factory())
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    heap, nofc, bucket = (
+        results["heap"], results["bucket_nofc"], results["bucket"]
+    )
+
+    rows = [
+        [name, r["labels"], r["pops"], r["processed"], r["netlength"],
+         r["vias"], r["errors"], f"{r['wall_s']:.2f}"]
+        for name, r in results.items()
+    ]
+    print_table(
+        "Path-search kernel ablation (full flow, table-1 quick chip)",
+        ["kernel", "labels", "pops", "processed", "netlength", "vias",
+         "errors", "wall_s"],
+        rows,
+    )
+
+    # The queue swap alone is results-neutral: bit-identical searches.
+    for key in ("labels", "pops", "processed", "searches",
+                "netlength", "vias", "errors"):
+        assert nofc[key] == heap[key], (
+            f"bucket_nofc must reproduce heap exactly, {key} differs: "
+            f"{nofc[key]} != {heap[key]}"
+        )
+
+    # The corridor-tightened future cost carries the acceptance bar:
+    # >= 25% fewer labels pushed, wiring quality at parity.
+    assert bucket["labels"] <= 0.75 * heap["labels"], (
+        f"pi_GR must cut labels >= 25%: {bucket['labels']} vs "
+        f"{heap['labels']}"
+    )
+    assert bucket["netlength"] == heap["netlength"]
+    assert bucket["vias"] == heap["vias"]
+    assert bucket["errors"] <= heap["errors"], (
+        "the bucket kernel must not leave more DRC errors behind"
+    )
+
+    work = {}
+    for name, r in results.items():
+        for key in ("labels", "pops", "processed", "searches",
+                    "stale_pops", "pi_gr_searches", "netlength", "vias",
+                    "errors"):
+            work[f"{name}.{key}"] = r[key]
+    # Inverted parity flags: a regression raises them above 0, which is
+    # exactly what the gate flags (a decrease only ever reads improved).
+    work["parity.nofc_mismatch"] = int(
+        any(nofc[k] != heap[k] for k in ("labels", "netlength", "vias"))
+    )
+    work["parity.netlength_mismatch"] = int(
+        bucket["netlength"] != heap["netlength"]
+    )
+    work["parity.vias_mismatch"] = int(bucket["vias"] != heap["vias"])
+    wall_clock = {f"{name}.route_s": r["wall_s"] for name, r in results.items()}
+    columns = {
+        "chip": SPEC.name,
+        "labels_reduction_pct": round(
+            100.0 * (1 - bucket["labels"] / max(1, heap["labels"])), 1
+        ),
+    }
+    path = write_bench_record("pathsearch", wall_clock, work, columns=columns)
+    if path is not None:
+        print(f"bench record appended to {path}")
+    benchmark.extra_info["kernels"] = {
+        "work": work, "wall_clock": wall_clock, "columns": columns,
+    }

@@ -54,12 +54,19 @@ class CleanupReport:
 class DrcCleanup:
     """Violation-driven local repair over a routed space."""
 
-    def __init__(self, space: RoutingSpace, max_passes: int = 2) -> None:
+    def __init__(
+        self,
+        space: RoutingSpace,
+        max_passes: int = 2,
+        search_kernel=None,
+    ) -> None:
         self.space = space
         self.chip = space.chip
         self.max_passes = max_passes
         self.planner = PinAccessPlanner(space)
-        self.connector = NetConnector(space, planner=self.planner)
+        self.connector = NetConnector(
+            space, planner=self.planner, search_kernel=search_kernel
+        )
 
     # ------------------------------------------------------------------
     # Individual fixes

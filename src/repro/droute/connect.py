@@ -17,14 +17,22 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.chip.net import Net, Pin
 from repro.droute.area import RoutingArea
-from repro.droute.future_cost import FutureCostH, FutureCostP, SearchCosts
+from repro.droute.future_cost import (
+    FutureCostGR,
+    FutureCostH,
+    FutureCostP,
+    SearchCosts,
+)
 from repro.droute.intervals import GraphView
 from repro.droute.pathsearch import (
+    KernelSpec,
     SearchResult,
     interval_path_search,
     node_path_search,
     path_to_moves,
+    resolve_kernel,
 )
+from repro.obs import OBS
 from repro.droute.pinaccess import AccessPath
 from repro.droute.route import ViaInstance
 from repro.droute.samenet import postprocess_path
@@ -45,6 +53,7 @@ class ConnectionStats:
         self.ripup_searches = 0
         self.labels = 0
         self.used_pi_p = 0
+        self.used_pi_gr = 0
 
     def merge(self, other: "ConnectionStats") -> None:
         self.searches += other.searches
@@ -52,6 +61,7 @@ class ConnectionStats:
         self.ripup_searches += other.ripup_searches
         self.labels += other.labels
         self.used_pi_p += other.used_pi_p
+        self.used_pi_gr += other.used_pi_gr
 
 
 class ConnectionResult:
@@ -86,9 +96,14 @@ class NetConnector:
         detour_threshold: float = 1.8,
         spreading=None,
         fault_injector=None,
+        search_kernel: KernelSpec = None,
     ) -> None:
         self.space = space
         self.costs = costs if costs is not None else SearchCosts()
+        #: The queue/label engine behind every path search of this
+        #: connector (``route --search-kernel``); the kernel also decides
+        #: whether searches use the corridor future cost pi_GR.
+        self.search_kernel = resolve_kernel(search_kernel)
         #: Primary (reserved) access path per pin name (Sec. 4.3).
         self.access_paths = access_paths if access_paths is not None else {}
         #: Pin access planner for dynamically generated paths (Sec. 4.4:
@@ -239,7 +254,23 @@ class NetConnector:
             ),
         )
         target_list = sorted(targets)
-        if use_pi_p:
+        kernel = self.search_kernel
+        if kernel.corridor_future_cost and area.boxes is not None:
+            # The corridor-tightened bound (arXiv:2111.06169): cheap
+            # enough to build for every corridor-restricted connection,
+            # and it dominates both classic bounds, so the pi_P detour
+            # gate becomes moot on this path.  Passing the view reuses
+            # its interval decomposition as the open-vertex set (every
+            # blockage and foreign wire accounted for), and the sources
+            # bound the backward sweep.
+            pi = FutureCostGR(
+                self.space.graph, target_list, self.costs, area,
+                view=view, stop_vertices=sources,
+            )
+            stats.used_pi_gr += 1
+            if OBS.enabled:
+                OBS.count("pathsearch.kernel.pi_gr_searches")
+        elif use_pi_p:
             large = [
                 (layer, rect)
                 for layer, rect, _owner in self.space.chip.obstruction_shapes()
@@ -252,7 +283,7 @@ class NetConnector:
         stats.searches += 1
         result = search(
             view, {s: 0 for s in sources}, targets, self.costs, pi,
-            deadline=deadline,
+            deadline=deadline, kernel=kernel,
         )
         if result is not None:
             stats.labels += result.stats.labels_pushed

@@ -89,6 +89,7 @@ class BonnRouteFlow:
         session=None,
         workers: int = 1,
         region_timeout_s: Optional[float] = None,
+        search_kernel=None,
     ) -> None:
         self.chip = chip
         #: The engine session this flow writes into.  Created lazily in
@@ -116,6 +117,9 @@ class BonnRouteFlow:
         #: independent.
         self.workers = max(1, int(workers))
         self.region_timeout_s = region_timeout_s
+        #: Path-search kernel name/instance (``heap``/``bucket``; see
+        #: droute/pathsearch.py) used by every detailed-routing stage.
+        self.search_kernel = search_kernel
 
     # ------------------------------------------------------------------
     # Checkpoint helpers
@@ -263,6 +267,7 @@ class BonnRouteFlow:
             threads=self.threads,
             fault_injector=self.fault_injector,
             net_deadline_s=self.net_timeout_s,
+            search_kernel=self.search_kernel,
         )
         pre_result = pre_router.run(local_nets)
         # Unrouted local nets re-enter the main detailed stage, so only
@@ -351,6 +356,7 @@ class BonnRouteFlow:
             session=session,
             workers=self.workers,
             region_timeout_s=self.region_timeout_s,
+            search_kernel=self.search_kernel,
         )
 
     # ------------------------------------------------------------------
@@ -386,6 +392,7 @@ class BonnRouteFlow:
                 corridor_margin_tiles=self.corridor_margin_tiles,
                 workers=self.workers,
                 region_timeout_s=self.region_timeout_s,
+                search_kernel=self.search_kernel,
             )
         session = self.session
         result.session = session
@@ -531,7 +538,7 @@ class BonnRouteFlow:
                 )
 
         if self.cleanup:
-            cleaner = DrcCleanup(space)
+            cleaner = DrcCleanup(space, search_kernel=self.search_kernel)
             with OBS.trace("flow.cleanup"):
                 result.cleanup_report = cleaner.run()
         result.runtime_total = time.time() - start

@@ -250,6 +250,19 @@ class TestCliTrace:
         assert undocumented == [], (
             f"names missing from docs/OBSERVABILITY.md: {undocumented}"
         )
+        # The pluggable search kernels must identify themselves: every
+        # run carries at least one pathsearch.kernel.* counter, and the
+        # whole documented family must exist in the docs so a renamed
+        # or undocumented kernel counter fails here.
+        assert any(name.startswith("pathsearch.kernel.") for name in counters)
+        for name in (
+            "pathsearch.kernel.heap_searches",
+            "pathsearch.kernel.bucket_searches",
+            "pathsearch.kernel.stale_pops",
+            "pathsearch.kernel.bucket_priorities",
+            "pathsearch.kernel.pi_gr_searches",
+        ):
+            assert name in documented, f"{name} missing from the docs"
 
         heatmap = json.loads(Path(heatmap_path).read_text())
         assert heatmap["type"] == "congestion_heatmap"

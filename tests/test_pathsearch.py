@@ -10,12 +10,21 @@ import pytest
 
 from repro.chip.generator import ChipSpec, generate_chip
 from repro.droute.area import RoutingArea
-from repro.droute.future_cost import FutureCostH, FutureCostP, SearchCosts
+from repro.droute.future_cost import (
+    UNREACHABLE,
+    FutureCostGR,
+    FutureCostH,
+    FutureCostP,
+    SearchCosts,
+)
 from repro.droute.intervals import GraphView
 from repro.droute.pathsearch import (
+    BucketKernel,
+    HeapKernel,
     interval_path_search,
     node_path_search,
     path_to_moves,
+    resolve_kernel,
 )
 from repro.droute.space import RoutingSpace
 from repro.geometry.rect import Rect
@@ -212,6 +221,113 @@ class TestBlockagesAndRipup:
         assert loaded.cost >= fresh.cost
 
 
+class TestKernelEquivalence:
+    """The heap and bucket kernels are interchangeable engines.
+
+    Both break priority ties FIFO by insertion order, so they pop labels
+    in the identical order and must return not just the same optimal
+    cost but the *identical vertex path* on every instance.
+    """
+
+    def _instances(self, space, seed, count):
+        rng = random.Random(seed)
+        graph = space.graph
+        out = []
+        while len(out) < count:
+            z1 = rng.choice(graph.stack.indices)
+            z2 = rng.choice(graph.stack.indices)
+            s = (z1, rng.randrange(len(graph.tracks[z1])),
+                 rng.randrange(len(graph.crosses[z1])))
+            t = (z2, rng.randrange(len(graph.tracks[z2])),
+                 rng.randrange(len(graph.crosses[z2])))
+            if s != t:
+                out.append((s, t))
+        return out
+
+    def _run_kernels(self, space, s, t, search, pi_factory, ripup=-2):
+        costs = SearchCosts()
+        area = RoutingArea.everywhere()
+        results = []
+        for kernel in ("heap", "bucket"):
+            view = GraphView(space, "default", area, ripup_level=ripup,
+                             forced_vertices={s, t})
+            pi = pi_factory(space, view, s, t, costs, area)
+            results.append(
+                search(view, {s: 0}, {t}, costs, pi, kernel=kernel)
+            )
+        return results
+
+    @staticmethod
+    def _pi_h(space, view, s, t, costs, area):
+        return FutureCostH(space.graph, [t], costs)
+
+    @staticmethod
+    def _pi_gr(space, view, s, t, costs, area):
+        return FutureCostGR(space.graph, [t], costs, area,
+                            view=view, stop_vertices={s})
+
+    def test_interval_equivalence_200_instances(self, space):
+        """>= 200 seeded instances: identical cost and identical path."""
+        for s, t in self._instances(space, seed=101, count=200):
+            heap_r, bucket_r = self._run_kernels(
+                space, s, t, interval_path_search, self._pi_h
+            )
+            assert (heap_r is None) == (bucket_r is None), f"{s} -> {t}"
+            if heap_r is None:
+                continue
+            assert heap_r.cost == bucket_r.cost, f"{s} -> {t}"
+            assert heap_r.vertices == bucket_r.vertices, f"{s} -> {t}"
+
+    def test_interval_equivalence_under_pi_gr(self, space):
+        for s, t in self._instances(space, seed=202, count=25):
+            heap_r, bucket_r = self._run_kernels(
+                space, s, t, interval_path_search, self._pi_gr
+            )
+            assert (heap_r is None) == (bucket_r is None), f"{s} -> {t}"
+            if heap_r is None:
+                continue
+            assert heap_r.cost == bucket_r.cost, f"{s} -> {t}"
+            assert heap_r.vertices == bucket_r.vertices, f"{s} -> {t}"
+
+    def test_node_equivalence(self, space):
+        for s, t in self._instances(space, seed=303, count=25):
+            heap_r, bucket_r = self._run_kernels(
+                space, s, t, node_path_search, self._pi_h
+            )
+            assert (heap_r is None) == (bucket_r is None), f"{s} -> {t}"
+            if heap_r is None:
+                continue
+            assert heap_r.cost == bucket_r.cost, f"{s} -> {t}"
+            assert heap_r.vertices == bucket_r.vertices, f"{s} -> {t}"
+
+    def test_equivalence_with_ripup_penalties(self, space):
+        for s, t in self._instances(space, seed=404, count=25):
+            heap_r, bucket_r = self._run_kernels(
+                space, s, t, interval_path_search, self._pi_h, ripup=3
+            )
+            assert (heap_r is None) == (bucket_r is None), f"{s} -> {t}"
+            if heap_r is None:
+                continue
+            assert heap_r.cost == bucket_r.cost, f"{s} -> {t}"
+            assert heap_r.vertices == bucket_r.vertices, f"{s} -> {t}"
+
+    def test_resolve_kernel(self):
+        assert isinstance(resolve_kernel("heap"), HeapKernel)
+        assert isinstance(resolve_kernel("bucket"), BucketKernel)
+        assert isinstance(resolve_kernel(None), BucketKernel)
+        kernel = HeapKernel()
+        assert resolve_kernel(kernel) is kernel
+        with pytest.raises(ValueError):
+            resolve_kernel("fibonacci")
+
+    def test_bucket_kernel_reuses_arrays_per_graph(self, space):
+        kernel = BucketKernel()
+        f1 = kernel.new_search(space.graph)
+        f2 = kernel.new_search(space.graph)
+        assert f1._arrays is f2._arrays
+        assert f2._gen > f1._gen  # generation bump invalidates f1's labels
+
+
 class TestFutureCosts:
     def test_pi_h_zero_at_target(self, space):
         t = (3, 2, 4)
@@ -259,6 +375,95 @@ class TestFutureCosts:
             result = node_path_search(view, {s: 0}, {t}, costs, pi_h)
             if result is not None:
                 assert pi_p(s) <= result.cost, "pi_P must stay admissible"
+
+    def _optimal_cost(self, space, s, t, area=None):
+        area = area or RoutingArea.everywhere()
+        costs = SearchCosts()
+        pi_h = FutureCostH(space.graph, [t], costs)
+        view = GraphView(space, "default", area, forced_vertices={s, t})
+        result = interval_path_search(view, {s: 0}, {t}, costs, pi_h)
+        return None if result is None else result.cost
+
+    def test_pi_gr_zero_at_target_and_dominates_pi_h(self, space):
+        graph = space.graph
+        costs = SearchCosts()
+        t = (3, 2, 4)
+        area = RoutingArea.everywhere()
+        pi_gr = FutureCostGR(graph, [t], costs, area)
+        pi_h = FutureCostH(graph, [t], costs)
+        assert pi_gr(t) == 0
+        rng = random.Random(11)
+        for _ in range(12):
+            z = rng.choice(graph.stack.indices)
+            s = (z, rng.randrange(len(graph.tracks[z])),
+                 rng.randrange(len(graph.crosses[z])))
+            assert pi_gr(s) >= pi_h(s)
+
+    def test_pi_gr_admissible(self, space):
+        """pi_GR(s) never exceeds the true optimal search cost."""
+        graph = space.graph
+        costs = SearchCosts()
+        t = (3, 2, 4)
+        area = RoutingArea.everywhere()
+        pi_gr = FutureCostGR(graph, [t], costs, area)
+        rng = random.Random(12)
+        for _ in range(20):
+            z = rng.choice(graph.stack.indices)
+            s = (z, rng.randrange(len(graph.tracks[z])),
+                 rng.randrange(len(graph.crosses[z])))
+            if s == t:
+                continue
+            cost = self._optimal_cost(space, s, t)
+            if cost is not None:
+                assert pi_gr(s) <= cost
+
+    def test_pi_gr_view_mode_admissible_with_penalties(self, space):
+        """View-mode pi_GR (penalty-aware, source-truncated) stays below
+        the true cost of the search it steers."""
+        graph = space.graph
+        costs = SearchCosts()
+        area = RoutingArea.everywhere()
+        rng = random.Random(13)
+        checked = 0
+        while checked < 20:
+            z1 = rng.choice(graph.stack.indices)
+            z2 = rng.choice(graph.stack.indices)
+            s = (z1, rng.randrange(len(graph.tracks[z1])),
+                 rng.randrange(len(graph.crosses[z1])))
+            t = (z2, rng.randrange(len(graph.tracks[z2])),
+                 rng.randrange(len(graph.crosses[z2])))
+            if s == t:
+                continue
+            view = GraphView(space, "default", area, forced_vertices={s, t})
+            pi_gr = FutureCostGR(graph, [t], costs, area,
+                                 view=view, stop_vertices={s})
+            result = interval_path_search(view, {s: 0}, {t}, costs, pi_gr)
+            reference = self._optimal_cost(space, s, t)
+            if reference is None:
+                assert result is None
+                continue
+            assert result is not None
+            assert result.cost == reference
+            assert pi_gr(s) <= reference
+            checked += 1
+
+    def test_pi_gr_unreachable_proof_prunes(self, space):
+        """Disconnected target: the view-mode bound proves it and the
+        search stops after O(1) labels instead of exhausting."""
+        graph = space.graph
+        z = 5
+        x0, y0, _ = graph.position((z, 0, 0))
+        area = RoutingArea.from_boxes([(z, Rect(x0, y0, x0 + 100, y0 + 100))])
+        costs = SearchCosts()
+        s = (z, 0, 0)
+        t = (z, len(graph.tracks[z]) - 1, len(graph.crosses[z]) - 1)
+        view = GraphView(space, "default", area, forced_vertices={s})
+        pi_gr = FutureCostGR(graph, [t], costs, area,
+                             view=view, stop_vertices={s})
+        assert pi_gr.unreachable_is_proof
+        assert pi_gr(s) >= UNREACHABLE
+        result = interval_path_search(view, {s: 0}, {t}, costs, pi_gr)
+        assert result is None
 
     def test_search_with_pi_p_same_cost(self, space):
         graph = space.graph
