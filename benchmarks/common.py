@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 
 from repro.chip.generator import ChipSpec
 from repro.obs import OBS
+from repro.obs.resource import peak_rss_bytes
 
 #: Scaled-down counterparts of Table I's eight chips (chips 5 and 8 are
 #: the 32 nm designs and the largest, as in the paper).
@@ -144,15 +145,18 @@ def write_bench_record(
     columns: Optional[Dict[str, object]] = None,
     directory: Optional[str] = None,
     max_runs: int = BENCH_MAX_RUNS,
+    resources: Optional[Dict[str, float]] = None,
 ) -> Optional[Path]:
     """Append one run to ``BENCH_<bench>.json``; returns the path.
 
     ``wall_clock`` holds noisy timings in seconds; ``work`` holds the
     deterministic quantities (labels popped, oracle calls, netlength …)
     the regression gate compares; ``columns`` carries free-form context
-    rows (per-chip tables) that are recorded but never gated on.
-    Returns ``None`` when persistence is disabled via
-    ``REPRO_BENCH_PERSIST=0``.
+    rows (per-chip tables) that are recorded but never gated on;
+    ``resources`` extends the machine-dependent resource telemetry
+    (``peak_rss_bytes`` is always recorded — the regression gate reports
+    this section but never fails on it).  Returns ``None`` when
+    persistence is disabled via ``REPRO_BENCH_PERSIST=0``.
     """
     if os.environ.get("REPRO_BENCH_PERSIST", "1") == "0":
         return None
@@ -181,6 +185,10 @@ def write_bench_record(
         "wall_clock": {k: round(float(v), 4) for k, v in sorted(wall_clock.items())},
         "work": dict(sorted(work.items())),
     }
+    run_resources: Dict[str, float] = {"peak_rss_bytes": peak_rss_bytes()}
+    if resources:
+        run_resources.update(resources)
+    run["resources"] = dict(sorted(run_resources.items()))
     if columns:
         run["columns"] = columns
     document["runs"].append(run)

@@ -43,6 +43,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_flight_dump(path: str) -> None:
+    """Write the observer's flight-recorder ring to ``path`` as JSON."""
+    import json
+
+    from repro.obs import OBS
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"type": "flight_recorder", "records": OBS.flight.dump()},
+            handle, sort_keys=True, default=str,
+        )
+        handle.write("\n")
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.obs import OBS, JsonlTraceSink
 
@@ -82,10 +96,21 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 region_timeout_s=args.region_timeout,
                 search_kernel=args.search_kernel,
+                preroute_local_nets=not args.no_preroute,
             ).run()
         except CheckpointError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        except BaseException:
+            # Unhandled flow crash: leave the flight recorder's last
+            # moments on disk before the traceback propagates.
+            if args.flight_out:
+                _write_flight_dump(args.flight_out)
+                print(
+                    f"flight recorder dump written to {args.flight_out}",
+                    file=sys.stderr,
+                )
+            raise
     else:
         from repro.flow.isr_flow import IsrFlow
 
@@ -129,6 +154,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
         print(OBS.summary_table())
         if args.trace_out:
             print(f"trace written to {args.trace_out}")
+    if args.flight_out:
+        _write_flight_dump(args.flight_out)
+        print(f"flight recorder dump written to {args.flight_out}")
     if args.heatmap_out:
         from repro.obs import write_congestion_heatmap
 
@@ -290,6 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
         "repeatable",
     )
     route.add_argument(
+        "--no-preroute", action="store_true",
+        help="skip the local-net preroute stage and send every net "
+        "through main detailed routing (keeps partition rounds "
+        "multi-region so --workers actually forks on small chips)",
+    )
+    route.add_argument(
         "--obs", action="store_true",
         help="enable observability and print the end-of-run "
         "span/counter summary (docs/OBSERVABILITY.md)",
@@ -298,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="enable observability and stream the JSONL trace to PATH "
         "(validate: python -m repro.obs PATH)",
+    )
+    route.add_argument(
+        "--flight-out", default=None, metavar="PATH",
+        help="write the flight-recorder dump (most recent spans/events/"
+        "notes) to PATH after the run — and on an unhandled crash",
     )
     route.add_argument(
         "--heatmap-out", default=None, metavar="PATH",

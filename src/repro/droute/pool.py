@@ -38,7 +38,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.droute.connect import ConnectionStats
 from repro.flow.faults import SITE_WORKER
 from repro.flow.resilience import Deadline
-from repro.obs import OBS
+from repro.obs import OBS, MemorySink
+from repro.obs.resource import ResourceSampler
 
 
 def fork_available() -> bool:
@@ -113,15 +114,33 @@ def _route_region(
 
 
 def _worker_main(
-    router, worker_id, tasks, result_queue, obs_enabled, stage_deadline=None
+    router, worker_id, tasks, result_queue, obs_enabled,
+    stage_deadline=None, trace_ctx=None,
 ) -> None:
     """Entry point of a forked worker: route assigned regions, report."""
     # The forked child inherited the parent's observer *and its JSONL
     # sink file handle* — writing there would interleave corrupt lines
     # into the parent's trace.  reset() detaches the sink unclosed;
-    # counters accumulate locally and travel back as per-region deltas.
-    OBS.reset()
-    OBS.configure(enabled=obs_enabled, sink=None)
+    # keep_epoch keeps the parent's clock epoch so worker span
+    # timestamps land on the parent's timeline.  Records buffer in a
+    # MemorySink and travel back with each region's outcome, alongside
+    # per-region counter/gauge/histogram deltas.  The inherited handle
+    # must also be *disowned*: the parent's buffered-but-unflushed
+    # records live in the child's copy of the buffer, and interpreter
+    # shutdown would flush them into the shared file a second time.
+    inherited_sink = getattr(OBS, "_sink", None)
+    if inherited_sink is not None and hasattr(inherited_sink, "disinherit"):
+        inherited_sink.disinherit()
+    OBS.reset(keep_epoch=True)
+    sink = MemorySink() if obs_enabled else None
+    OBS.configure(enabled=obs_enabled, sink=sink)
+    OBS.set_context(
+        trace_id=(trace_ctx or {}).get("trace_id"),
+        process="worker",
+        worker_id=worker_id,
+        root_parent_id=(trace_ctx or {}).get("parent_span_id"),
+    )
+    sampler = ResourceSampler() if obs_enabled else None
     # Session bookkeeping (ripup propagation into ECO runs) is a
     # parent-side concern; the merge re-derives it from the outcome.
     router.session = None
@@ -131,25 +150,41 @@ def _worker_main(
     for region_index, net_names in tasks:
         result_queue.put(("begin", worker_id, region_index))
         fired_base = len(injector.fired) if injector is not None else 0
-        counters_base = dict(OBS.counters)
+        # Per-region metric scope: ship absolute values as the deltas.
+        OBS.counters.clear()
+        OBS.gauges.clear()
+        OBS.histograms.clear()
+        OBS.region = region_index
         try:
             outcome = _route_region(
                 router, net_names, fired_base, stage_deadline
             )
         except BaseException as error:  # noqa: BLE001 - isolation boundary
+            OBS.flight_note(
+                "pool.region_exception",
+                region=region_index,
+                error=f"{type(error).__name__}: {error}",
+            )
             state = (
                 injector.state(fired_base) if injector is not None else None
             )
             result_queue.put((
                 "failed", worker_id, region_index,
                 f"{type(error).__name__}: {error}", state,
+                OBS.flight.dump(),
             ))
             continue
-        outcome["obs_counters"] = {
-            name: value - counters_base.get(name, 0)
-            for name, value in OBS.counters.items()
-            if value != counters_base.get(name, 0)
+        finally:
+            OBS.region = None
+        if sampler is not None:
+            sampler.sample()
+        outcome["obs_counters"] = dict(OBS.counters)
+        outcome["obs_gauges"] = dict(OBS.gauges)
+        outcome["obs_histograms"] = {
+            name: histogram.state()
+            for name, histogram in OBS.histograms.items()
         }
+        outcome["obs_records"] = sink.take() if sink is not None else []
         result_queue.put(("done", worker_id, region_index, outcome))
     result_queue.put(("exit", worker_id))
 
@@ -204,12 +239,35 @@ class PoolSupervisor:
         self.incidents = 0
         #: Once true, the router stops dispatching rounds to the pool.
         self.degraded = False
+        #: Worker ids are unique across the whole run (not per round):
+        #: each forked process mints span ids ``w<worker_id>-<seq>``, so
+        #: reusing an id across rounds would collide in the merged trace.
+        self._next_worker_id = 0
         self._ctx = multiprocessing.get_context("fork")
 
     # ------------------------------------------------------------------
-    def _event(self, kind: str, **attrs) -> None:
+    def _event(
+        self,
+        kind: str,
+        attach_flight: bool = False,
+        extra: Optional[Dict[str, object]] = None,
+        **attrs,
+    ) -> None:
+        """Record a pool incident/event everywhere it needs to land.
+
+        ``attach_flight`` snapshots the *parent's* flight-recorder ring
+        into the event (used for crashes/timeouts — the corpse cannot
+        report its own); ``extra`` carries payload that belongs in the
+        pool-event record but not in the trace event (e.g. the flight
+        dump a live worker shipped with its region failure).
+        """
+        OBS.flight_note("pool." + kind, **attrs)
         record: Dict[str, object] = {"kind": kind}
         record.update(attrs)
+        if attach_flight:
+            record["flight"] = OBS.flight.dump()
+        if extra:
+            record.update(extra)
         self.result.pool_events.append(record)
         if OBS.enabled:
             OBS.event("pool." + kind, **attrs)
@@ -247,12 +305,18 @@ class PoolSupervisor:
         retries: Dict[int, int] = {region: 0 for region in region_names}
         result_queue = self._ctx.Queue()
         handles: Dict[int, _WorkerHandle] = {}
-        next_id = 0
+
+        # Trace context rides into every fork (including respawns): the
+        # current open span — ``pool.round`` — becomes the root parent
+        # of all worker spans, so the merged trace forms one tree.
+        trace_ctx = {
+            "trace_id": OBS.trace_id,
+            "parent_span_id": OBS.current_span_id(),
+        }
 
         def spawn(regions: List[int]) -> None:
-            nonlocal next_id
-            worker_id = next_id
-            next_id += 1
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
             process = self._ctx.Process(
                 target=_worker_main,
                 args=(
@@ -262,6 +326,7 @@ class PoolSupervisor:
                     result_queue,
                     OBS.enabled,
                     stage_deadline,
+                    trace_ctx,
                 ),
                 daemon=True,
             )
@@ -277,6 +342,8 @@ class PoolSupervisor:
             handle: _WorkerHandle,
             kind: str,
             only_region: Optional[int] = None,
+            attach_flight: bool = False,
+            extra: Optional[Dict[str, object]] = None,
             **attrs,
         ) -> None:
             """Shared crash/timeout/region-failure bookkeeping.
@@ -304,6 +371,8 @@ class PoolSupervisor:
                 charged = self._charge_faults(region_names[region])
             self._event(
                 kind,
+                attach_flight=attach_flight,
+                extra=extra,
                 round=round_index,
                 region=region,
                 charged_nets=charged,
@@ -393,16 +462,19 @@ class PoolSupervisor:
                                 len(region_names) - len(outcomes),
                             )
                 elif kind == "failed":
-                    _, worker_id, region, error, fault_state = message
+                    _, worker_id, region, error, fault_state, flight = message
                     handle = handles.get(worker_id)
                     injector = self.router.fault_injector
                     if injector is not None and fault_state:
                         injector.merge_child_state(fault_state)
                     if handle is not None and region not in outcomes:
                         # The worker survives; only this region is hurt.
+                        # It shipped its own flight-recorder dump with
+                        # the failure message.
                         incident(
                             handle, "region_failure",
                             only_region=region, error=error,
+                            extra={"flight": flight} if flight else None,
                         )
                         handle.current = None
                         handle.deadline = None
@@ -423,6 +495,7 @@ class PoolSupervisor:
                         OBS.count("pool.worker_crashes")
                     incident(
                         handle, "worker_crash",
+                        attach_flight=True,
                         exitcode=handle.process.exitcode,
                     )
                 elif handle.deadline is not None and handle.deadline.expired:
@@ -431,6 +504,7 @@ class PoolSupervisor:
                         OBS.count("pool.worker_timeouts")
                     incident(
                         handle, "worker_timeout",
+                        attach_flight=True,
                         timeout_s=self.region_timeout_s,
                     )
             if self.degraded:

@@ -382,6 +382,12 @@ class DetailedRouter:
             error=state.last_error.get(net.name),
             open_connections=open_connections,
         )
+        OBS.flight_note(
+            "resilience.net_failure",
+            net=net.name,
+            reason=reason,
+            attempts=state.attempt_counts.get(net.name, 0),
+        )
         if OBS.enabled:
             OBS.count("droute.nets_failed")
             OBS.event(
@@ -701,9 +707,18 @@ class DetailedRouter:
                                 "pool.merge_conflict",
                                 net=name, region=region_index,
                             )
-                if OBS.enabled and outcome["obs_counters"]:
-                    for counter_name, delta in outcome["obs_counters"].items():
-                        OBS.count(counter_name, delta)
+                if OBS.enabled:
+                    # Repatriate the worker's telemetry for this region:
+                    # span/event records fold into the parent's trace
+                    # (and sink), metrics merge kind-appropriately —
+                    # counters add, histograms merge their states,
+                    # ``resource.*`` gauges keep the process-tree max.
+                    OBS.adopt_records(outcome.get("obs_records") or [])
+                    OBS.merge_worker_metrics(
+                        counters=outcome.get("obs_counters"),
+                        gauges=outcome.get("obs_gauges"),
+                        histograms=outcome.get("obs_histograms"),
+                    )
                 if redo:
                     # The worker's route no longer fits: re-search in the
                     # parent.  Attempt counts already include the

@@ -38,6 +38,7 @@ from repro.flow.stats import FlowMetrics, collect_metrics
 from repro.groute.graph import GlobalRoutingGraph
 from repro.groute.router import GlobalRouter, GlobalRoutingResult
 from repro.obs import OBS
+from repro.obs.resource import ResourceSampler
 from repro.io.checkpoint import (
     STAGE_DETAILED,
     STAGE_GLOBAL,
@@ -366,18 +367,32 @@ class BonnRouteFlow:
         """Run the full flow; see :meth:`_run_impl` for the stages.
 
         The wrapper exists so the ``flow.run`` span covers the whole run
-        and its total still lands in ``result.metrics.obs``.
+        and its total still lands in ``result.metrics.obs``.  An
+        unhandled exception escaping the flow carries the flight
+        recorder's last moments on its ``flight_recorder`` attribute for
+        post-mortems.
         """
-        with OBS.trace(
-            "flow.run", chip=self.chip.name, nets=len(self.chip.nets)
-        ):
-            result = self._run_impl()
+        try:
+            with OBS.trace(
+                "flow.run", chip=self.chip.name, nets=len(self.chip.nets)
+            ):
+                result = self._run_impl()
+        except BaseException as error:
+            OBS.flight_note(
+                "flow.exception", error=f"{type(error).__name__}: {error}"
+            )
+            try:
+                error.flight_recorder = OBS.flight.dump()
+            except Exception:  # noqa: BLE001 - attribute-hostile exceptions
+                pass
+            raise
         if OBS.enabled and result.metrics is not None:
             result.metrics.obs = OBS.summary()
         return result
 
     def _run_impl(self) -> FlowResult:
         start = time.time()
+        sampler = ResourceSampler()
         result = FlowResult(self.chip)
         report = result.failure_report
         if self.session is None:
@@ -428,10 +443,16 @@ class BonnRouteFlow:
                     checkpoint.get("detailed") or {}
                 )
         else:
+            OBS.flight_note("flow.stage", stage="preroute")
             with OBS.trace("flow.preroute"):
                 prerouted, extra_obstacles = self._preroute(space, report)
+            if OBS.enabled:
+                sampler.sample()
+            OBS.flight_note("flow.stage", stage="global")
             with OBS.trace("flow.global"):
                 global_result = self._run_global(plan, extra_obstacles, report)
+            if OBS.enabled:
+                sampler.sample()
             result.global_result = global_result
             self._save_checkpoint(
                 STAGE_GLOBAL,
@@ -501,8 +522,11 @@ class BonnRouteFlow:
                     )
 
                 detailed.round_checkpoint = _round_checkpoint
+            OBS.flight_note("flow.stage", stage="detailed")
             with OBS.trace("flow.detailed", nets=len(remaining)):
                 detailed_result = detailed.run(remaining)
+            if OBS.enabled:
+                sampler.sample()
             if partial_result is not None:
                 self._fold_partial(detailed_result, partial_result)
             session.ingest_detailed(detailed_result)
@@ -539,14 +563,26 @@ class BonnRouteFlow:
 
         if self.cleanup:
             cleaner = DrcCleanup(space, search_kernel=self.search_kernel)
+            OBS.flight_note("flow.stage", stage="cleanup")
             with OBS.trace("flow.cleanup"):
                 result.cleanup_report = cleaner.run()
+            if OBS.enabled:
+                sampler.sample()
         result.runtime_total = time.time() - start
         drc = (
             result.cleanup_report.final_report
             if result.cleanup_report is not None
             else None
         )
+        if (
+            report.net_failures
+            or report.degraded_stages
+            or report.pool_events
+            or report.global_faults
+        ):
+            # Something went wrong somewhere: preserve the recorder's
+            # last moments in the report for post-mortems.
+            report.flight_recorder = OBS.flight.dump()
         result.metrics = collect_metrics(
             space,
             runtime_total=result.runtime_total,

@@ -79,6 +79,11 @@ class Deadline:
 
     def check(self) -> None:
         if self.expired:
+            OBS.flight_note(
+                "resilience.deadline_expired",
+                budget_s=self.budget_s,
+                elapsed_s=self.elapsed,
+            )
             if OBS.enabled:
                 OBS.count("resilience.deadlines_expired")
                 OBS.event(
@@ -332,6 +337,11 @@ class FlowFailureReport:
         #: degradations) from parallel detailed routing, as plain dicts
         #: with at least a ``kind`` key.
         self.pool_events: List[Dict[str, object]] = []
+        #: Flight-recorder dump (most recent spans/events/notes, oldest
+        #: first) captured at the end of a run that recorded failures —
+        #: the last-moments context for post-mortems.  Empty on clean
+        #: runs.
+        self.flight_recorder: List[Dict[str, object]] = []
 
     def record_failure(self, failure: NetFailure) -> None:
         self.net_failures[failure.net_name] = failure
@@ -382,4 +392,5 @@ class FlowFailureReport:
             "resumed_from": self.resumed_from,
             "global_faults": self.global_faults,
             "pool_events": list(self.pool_events),
+            "flight_recorder": list(self.flight_recorder),
         }

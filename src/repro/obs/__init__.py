@@ -30,7 +30,7 @@ table/figure it reproduces; ``tests/test_obs.py`` and the CI smoke job
 hold the code and that catalogue together.
 """
 
-from repro.obs.core import Histogram, Observer, Span
+from repro.obs.core import FlightRecorder, Histogram, Observer, Span
 from repro.obs.schema import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
@@ -39,6 +39,7 @@ from repro.obs.schema import (
 )
 from repro.obs.sinks import (
     JsonlTraceSink,
+    MemorySink,
     congestion_heatmap,
     heatmap_layers,
     write_congestion_heatmap,
@@ -53,7 +54,9 @@ __all__ = [
     "Observer",
     "Span",
     "Histogram",
+    "FlightRecorder",
     "JsonlTraceSink",
+    "MemorySink",
     "congestion_heatmap",
     "heatmap_layers",
     "write_congestion_heatmap",

@@ -23,10 +23,17 @@ span and event the routing flow emits — is documented in
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+import uuid
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
 
 #: Metric / span / event names: lowercase dotted identifiers.
 NAME_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789_."
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (one per traced run)."""
+    return uuid.uuid4().hex[:16]
 
 
 class Histogram:
@@ -74,20 +81,77 @@ class Histogram:
             "mean": self.mean,
         }
 
+    def state(self) -> Dict[str, object]:
+        """Picklable full state (aggregates + retained samples), the
+        shape :meth:`merge_state` accepts; workers ship these back to
+        the parent process."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "samples": list(self.samples),
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Aggregates stay exact; retained samples are appended until
+        :attr:`MAX_SAMPLES`, so merging worker histograms in region
+        order reproduces the serial run's retained prefix.
+        """
+        count = int(state.get("count", 0) or 0)
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0) or 0.0)
+        lo = state.get("min")
+        hi = state.get("max")
+        if lo is not None and (self.minimum is None or lo < self.minimum):
+            self.minimum = lo
+        if hi is not None and (self.maximum is None or hi > self.maximum):
+            self.maximum = hi
+        room = self.MAX_SAMPLES - len(self.samples)
+        if room > 0:
+            self.samples.extend(list(state.get("samples") or ())[:room])
+
 
 class Span:
-    """One finished span: a named, timed, nested region of the flow."""
+    """One finished span: a named, timed, nested region of the flow.
 
-    __slots__ = ("name", "attrs", "start", "duration", "depth")
+    Every span carries a process-unique ``span_id`` and the id of its
+    parent span (``None`` for roots), so traces merged across worker
+    processes still form one tree.  ``process``/``worker``/``region``
+    locate the span in the pool topology (repro-trace v2 fields).
+    """
+
+    __slots__ = (
+        "name", "attrs", "start", "duration", "depth",
+        "span_id", "parent_id", "process", "worker", "region",
+    )
 
     def __init__(
-        self, name: str, attrs: Dict[str, object], start: float, depth: int
+        self,
+        name: str,
+        attrs: Dict[str, object],
+        start: float,
+        depth: int,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        process: str = "main",
+        worker: Optional[int] = None,
+        region: Optional[int] = None,
     ) -> None:
         self.name = name
         self.attrs = attrs
         self.start = start
         self.duration = 0.0
         self.depth = depth
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.process = process
+        self.worker = worker
+        self.region = region
 
     def as_record(self) -> Dict[str, object]:
         record: Dict[str, object] = {
@@ -97,6 +161,16 @@ class Span:
             "dur": self.duration,
             "depth": self.depth,
         }
+        if self.span_id is not None:
+            record["id"] = self.span_id
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if self.process != "main":
+            record["process"] = self.process
+        if self.worker is not None:
+            record["worker"] = self.worker
+        if self.region is not None:
+            record["region"] = self.region
         if self.attrs:
             record["attrs"] = self.attrs
         return record
@@ -137,12 +211,53 @@ class _SpanContext:
         return False
 
 
+class FlightRecorder:
+    """Always-on bounded ring of recent spans/events/notes.
+
+    The ring is a ``deque(maxlen=...)`` so recording is one append and
+    old records fall off the far end — cheap enough to stay on even
+    with observability disabled.  Its content is dumped into failure
+    reports (``FlowFailureReport.flight_recorder``, ``pool_events``)
+    when something goes wrong, giving post-mortem context without
+    rerunning under tracing.
+    """
+
+    __slots__ = ("records",)
+
+    #: Records retained; sized so a dump stays a readable post-mortem.
+    CAPACITY = 256
+
+    def __init__(self, capacity: int = CAPACITY) -> None:
+        self.records: deque = deque(maxlen=capacity)
+
+    def add(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def dump(self) -> List[Dict[str, object]]:
+        """Snapshot of the ring, oldest first (records are shared, not
+        copied — callers serialize them immediately)."""
+        return list(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
 class Observer:
     """Span tracer + metrics registry + sink dispatcher.
 
     ``enabled`` is a plain attribute so hot sites pay one attribute load
     to skip all work.  A ``clock`` can be injected for deterministic
     timing tests; it must be monotonic.
+
+    Trace context: ``trace_id`` names the whole traced run; every span
+    gets a process-unique id (``m-<n>`` in the main process,
+    ``w<id>-<n>`` in pool workers) and its parent's id.  Workers inherit
+    the context via :meth:`set_context` (``root_parent_id`` grafts their
+    root spans under the parent's ``pool.round`` span), so traces merged
+    across processes form a single tree.
     """
 
     def __init__(
@@ -165,6 +280,22 @@ class Observer:
         #: Cap on retained Span objects; aggregates and the sink always
         #: see every span, the in-memory list is for tests and the CLI.
         self.max_spans = 100_000
+        #: Trace id of the current run (set by :meth:`configure` when
+        #: enabling, or inherited from the parent via :meth:`set_context`).
+        self.trace_id: Optional[str] = None
+        #: ``"main"`` or ``"worker"`` — which process kind this is.
+        self.process: str = "main"
+        #: Pool worker id when this observer lives in a forked worker.
+        self.worker_id: Optional[int] = None
+        #: Region currently being routed (workers set this per task; the
+        #: value is stamped onto every span opened while it is set).
+        self.region: Optional[int] = None
+        #: Parent span id grafted under root spans of this process (the
+        #: parent's open ``pool.round`` span, for workers).
+        self.root_parent_id: Optional[str] = None
+        self._span_seq = 0
+        #: Always-on ring of recent records (see :class:`FlightRecorder`).
+        self.flight = FlightRecorder()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -172,13 +303,43 @@ class Observer:
     def configure(self, enabled: bool = True, sink=None) -> "Observer":
         """Enable/disable and (re)attach a sink; returns self."""
         self.enabled = enabled
+        if enabled and self.trace_id is None:
+            self.trace_id = new_trace_id()
         if sink is not None:
             self._sink = sink
             sink.open(self)
         return self
 
-    def reset(self) -> None:
-        """Drop all recorded data and detach the sink (left unclosed)."""
+    def set_context(
+        self,
+        trace_id: Optional[str] = None,
+        process: Optional[str] = None,
+        worker_id: Optional[int] = None,
+        root_parent_id: Optional[str] = None,
+    ) -> None:
+        """Adopt (parts of) a trace context, e.g. one shipped to a
+        forked pool worker; ``None`` arguments leave the field alone."""
+        if trace_id is not None:
+            self.trace_id = trace_id
+        if process is not None:
+            self.process = process
+        if worker_id is not None:
+            self.worker_id = worker_id
+        if root_parent_id is not None:
+            self.root_parent_id = root_parent_id
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open span (the parent a new span would
+        get), falling back to the grafted root parent."""
+        if self._stack:
+            return self._stack[-1].span_id
+        return self.root_parent_id
+
+    def reset(self, keep_epoch: bool = False) -> None:
+        """Drop all recorded data, trace context and the flight ring,
+        and detach the sink (left unclosed).  ``keep_epoch=True``
+        preserves the clock epoch — forked workers keep the parent's so
+        their span timestamps share the parent's timeline."""
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
@@ -186,7 +347,15 @@ class Observer:
         self.span_totals.clear()
         self._stack.clear()
         self._sink = None
-        self._epoch = self._clock()
+        if not keep_epoch:
+            self._epoch = self._clock()
+        self.trace_id = None
+        self.process = "main"
+        self.worker_id = None
+        self.region = None
+        self.root_parent_id = None
+        self._span_seq = 0
+        self.flight.clear()
 
     def close(self) -> None:
         """Flush and close the sink (writes the summary record)."""
@@ -208,7 +377,21 @@ class Observer:
         """
         if not self.enabled:
             return _NULL_CONTEXT
-        span = Span(name, attrs, self.now(), len(self._stack))
+        self._span_seq += 1
+        prefix = "m" if self.worker_id is None else f"w{self.worker_id}"
+        span = Span(
+            name,
+            attrs,
+            self.now(),
+            len(self._stack),
+            span_id=f"{prefix}-{self._span_seq}",
+            parent_id=(
+                self._stack[-1].span_id if self._stack else self.root_parent_id
+            ),
+            process=self.process,
+            worker=self.worker_id,
+            region=self.region,
+        )
         self._stack.append(span)
         return _SpanContext(self, span)
 
@@ -223,8 +406,40 @@ class Observer:
         totals = self.span_totals.setdefault(span.name, [0, 0.0])
         totals[0] += 1
         totals[1] += span.duration
+        record = span.as_record()
+        self.flight.add(record)
         if self._sink is not None:
-            self._sink.write(span.as_record())
+            self._sink.write(record)
+
+    def adopt_records(self, records: Sequence[Dict[str, object]]) -> None:
+        """Fold span/event records shipped back from a worker process.
+
+        Spans are reconstructed into the retained list and the per-name
+        aggregates (their worker-side ids, parents and lane fields come
+        along verbatim); every record is forwarded to the sink, so a
+        JSONL trace of a parallel run contains the workers' spans too.
+        """
+        for record in records:
+            if record.get("type") == "span":
+                span = Span(
+                    str(record.get("name", "?")),
+                    dict(record.get("attrs") or {}),
+                    float(record.get("start", 0.0)),
+                    int(record.get("depth", 0)),
+                    span_id=record.get("id"),
+                    parent_id=record.get("parent"),
+                    process=str(record.get("process", "worker")),
+                    worker=record.get("worker"),
+                    region=record.get("region"),
+                )
+                span.duration = float(record.get("dur", 0.0))
+                if len(self.spans) < self.max_spans:
+                    self.spans.append(span)
+                totals = self.span_totals.setdefault(span.name, [0, 0.0])
+                totals[0] += 1
+                totals[1] += span.duration
+            if self._sink is not None:
+                self._sink.write(record)
 
     # ------------------------------------------------------------------
     # Metrics
@@ -246,16 +461,68 @@ class Observer:
         histogram.add(value)
 
     def event(self, name: str, **attrs: object) -> None:
-        """Emit a point-in-time event to the trace sink."""
+        """Emit a point-in-time event (flight ring + trace sink)."""
+        record: Dict[str, object] = {
+            "type": "event",
+            "name": name,
+            "t": self.now(),
+        }
+        if self.worker_id is not None:
+            record["worker"] = self.worker_id
+        if attrs:
+            record["attrs"] = attrs
+        self.flight.add(record)
         if self._sink is not None:
-            record: Dict[str, object] = {
-                "type": "event",
-                "name": name,
-                "t": self.now(),
-            }
-            if attrs:
-                record["attrs"] = attrs
             self._sink.write(record)
+
+    def flight_note(self, name: str, **attrs: object) -> None:
+        """Drop a breadcrumb into the flight ring, observability on or
+        off.  This is the always-on channel: one dict build and one
+        deque append, called at incident-shaped sites only (failures,
+        stage transitions, pool incidents) — never in hot loops."""
+        record: Dict[str, object] = {
+            "type": "note",
+            "name": name,
+            "t": self.now(),
+        }
+        if self.worker_id is not None:
+            record["worker"] = self.worker_id
+        if attrs:
+            record["attrs"] = attrs
+        self.flight.add(record)
+
+    def merge_worker_metrics(
+        self,
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        histograms: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
+        """Fold a worker's per-region metric deltas into this registry.
+
+        Counters add; histograms merge via :meth:`Histogram.merge_state`
+        (region-index merge order keeps the retained sample prefix equal
+        to a serial run's); gauges are last-write-wins like local gauge
+        updates — except the ``resource.*`` family, whose values are
+        per-process peaks and therefore merge by maximum.
+        """
+        if counters:
+            for name, delta in counters.items():
+                self.count(name, delta)
+        if gauges:
+            for name, value in gauges.items():
+                if name.startswith("resource."):
+                    previous = self.gauges.get(name)
+                    if previous is None or value > previous:
+                        self.gauges[name] = value
+                else:
+                    self.gauges[name] = value
+        if histograms:
+            for name, state in histograms.items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = Histogram()
+                    self.histograms[name] = histogram
+                histogram.merge_state(state)
 
     # ------------------------------------------------------------------
     # Summaries

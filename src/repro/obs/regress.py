@@ -124,6 +124,13 @@ def compare_runs(
         current.get("wall_clock") or {},
         time_tolerance_pct,
     )
+    # Memory is machine-dependent: always report, never gate.
+    findings += _compare_section(
+        "resources",
+        baseline.get("resources") or {},
+        current.get("resources") or {},
+        None,
+    )
     return findings
 
 

@@ -144,8 +144,29 @@ def track_utilization(space) -> List[Dict[str, object]]:
 # ----------------------------------------------------------------------
 # SVG sections
 # ----------------------------------------------------------------------
+def _lane_label(span: Dict[str, object]) -> str:
+    """Waterfall lane of one span: ``main`` or ``worker-N``."""
+    worker = span.get("worker")
+    if worker is None:
+        return "main"
+    return f"worker-{int(worker)}"
+
+
+def _lane_order(label: str) -> Tuple[int, int]:
+    if label == "main":
+        return (0, 0)
+    return (1, int(label.rsplit("-", 1)[1]))
+
+
 def _svg_waterfall(spans: List[Dict[str, object]]) -> Tuple[str, str]:
-    """(note, svg) for the span waterfall."""
+    """(note, svg) for the span waterfall.
+
+    Spans carrying a ``worker`` field (trace v2, repatriated from pool
+    workers) are grouped into per-process lanes — ``main`` first, then
+    one ``worker-N`` lane per worker id — each introduced by a bold
+    header row tagged ``data-lane``.  A single-process trace renders
+    exactly as the flat v1 waterfall did.
+    """
     if not spans:
         return "no spans recorded", ""
     drawn = sorted(spans, key=lambda s: (s.get("start", 0.0), s.get("depth", 0)))
@@ -161,12 +182,19 @@ def _svg_waterfall(spans: List[Dict[str, object]]) -> Tuple[str, str]:
         note = (
             f"{len(spans)} spans, showing the {MAX_WATERFALL_SPANS} longest"
         )
+    lanes: Dict[str, List[Dict[str, object]]] = {}
+    for span in drawn:
+        lanes.setdefault(_lane_label(span), []).append(span)
+    multi = len(lanes) > 1
+    if multi:
+        note += f" in {len(lanes)} lanes"
     t_end = max(
         float(s.get("start", 0.0)) + float(s.get("dur", 0.0)) for s in drawn
     )
     t_end = max(t_end, 1e-9)
     width, row_h, label_w = 900, 18, 260
-    height = row_h * len(drawn) + 30
+    total_rows = len(drawn) + (len(lanes) if multi else 0)
+    height = row_h * total_rows + 30
     palette: Dict[str, str] = {}
     parts = [
         f'<svg class="waterfall" xmlns="http://www.w3.org/2000/svg" '
@@ -183,7 +211,22 @@ def _svg_waterfall(spans: List[Dict[str, object]]) -> Tuple[str, str]:
             f'<text x="{x:.1f}" y="{height - 6}" font-size="11" '
             f'fill="#666" text-anchor="middle">{t:.3f}s</text>'
         )
-    for row, span in enumerate(drawn):
+    render_rows: List[Tuple[str, object]] = []
+    for lane in sorted(lanes, key=_lane_order):
+        if multi:
+            render_rows.append(("lane", lane))
+        for span in lanes[lane]:
+            render_rows.append(("span", span))
+    for row, (row_kind, item) in enumerate(render_rows):
+        if row_kind == "lane":
+            y = row * row_h
+            parts.append(
+                f'<text class="lane" data-lane="{_escape(item)}" x="4" '
+                f'y="{y + 13}" font-size="11" font-weight="bold" '
+                f'fill="#111">{_escape(item)}</text>'
+            )
+            continue
+        span = item
         name = str(span.get("name", "?"))
         start = float(span.get("start", 0.0))
         duration = float(span.get("dur", 0.0))

@@ -5,29 +5,42 @@ field.  The format (documented for humans in ``docs/OBSERVABILITY.md``,
 kept honest by this validator, which CI runs against every smoke trace):
 
 * line 1 — ``meta``: ``{"type": "meta", "schema": "repro-trace",
-  "version": 1, ...}`` (extra keys, e.g. ``chip`` or ``argv``, allowed);
+  "version": 2, ...}`` (extra keys, e.g. ``chip``, ``argv`` or
+  ``trace_id``, allowed);
 * middle — any number of, in completion order:
   * ``span``: ``name`` (dotted lowercase), ``start`` (seconds since
     trace epoch), ``dur`` (seconds, >= 0), ``depth`` (nesting level,
-    >= 0), optional ``attrs`` object;
+    >= 0), ``id`` (process-unique span id, required since v2),
+    optional ``parent`` (id of the parent span, which must appear in
+    the same trace), optional ``process`` (``main``/``worker``),
+    ``worker`` (pool worker id) and ``region`` (partition region),
+    optional ``attrs`` object;
   * ``event``: ``name``, ``t`` (seconds since trace epoch), optional
-    ``attrs`` object;
+    ``worker``, optional ``attrs`` object;
 * last line — ``summary``: the aggregate registry dump with ``counters``
   / ``gauges`` / ``histograms`` / ``spans`` objects (metric name ->
   number, histogram dict, or ``{count, total_s}``).
 
-Usage: ``python -m repro.obs.schema TRACE.jsonl`` exits 0 when valid and
-prints one error per line otherwise.
+Version 1 traces (no span ids or lane fields) remain readable: they are
+validated under the v1 rules and reported with a "legacy trace" note.
+
+Usage: ``python -m repro.obs.schema TRACE.jsonl [MORE.jsonl | DIR ...]``
+— directories expand to their ``*.jsonl`` files (per-worker shards).
+Exits 0 when every file is valid and prints one error per line
+otherwise.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 SCHEMA_NAME = "repro-trace"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Characters permitted in metric / span / event names.
 _NAME_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_.")
@@ -54,8 +67,24 @@ def _check_number(record: Dict, key: str, line: int, errors: List[str],
                       f"must be >= {minimum}, got {value!r}")
 
 
-def validate_trace_lines(lines: List[str]) -> List[str]:
-    """Validate a trace file's lines; returns a list of error strings."""
+def _check_optional_int(record: Dict, key: str, line: int,
+                        errors: List[str]) -> None:
+    value = record.get(key)
+    if value is None:
+        return
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        errors.append(f"line {line}: {record.get('type')} field {key!r} "
+                      f"must be a non-negative integer, got {value!r}")
+
+
+def validate_trace_lines(
+    lines: List[str], notes: Optional[List[str]] = None
+) -> List[str]:
+    """Validate a trace file's lines; returns a list of error strings.
+
+    ``notes`` (optional) collects informational messages that are not
+    errors — currently the "legacy trace" note for v1 files.
+    """
     errors: List[str] = []
     records: List[Dict] = []
     for index, line in enumerate(lines, start=1):
@@ -76,6 +105,7 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
         errors.append("trace is empty")
         return errors
 
+    version = SCHEMA_VERSION
     head = records[0]
     if head.get("type") != "meta":
         errors.append(f"line {head['_line']}: first record must be 'meta', "
@@ -83,8 +113,19 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
     else:
         if head.get("schema") != SCHEMA_NAME:
             errors.append(f"line 1: meta schema must be {SCHEMA_NAME!r}")
-        if head.get("version") != SCHEMA_VERSION:
-            errors.append(f"line 1: meta version must be {SCHEMA_VERSION}")
+        if head.get("version") not in SUPPORTED_VERSIONS:
+            errors.append(
+                f"line 1: meta version must be one of "
+                f"{SUPPORTED_VERSIONS}, got {head.get('version')!r}"
+            )
+        else:
+            version = int(head["version"])
+            if version < SCHEMA_VERSION and notes is not None:
+                notes.append(
+                    f"legacy trace: {SCHEMA_NAME} v{version} records "
+                    f"validated under the v{version} rules (no span ids "
+                    f"or process/worker/region lanes)"
+                )
 
     summaries = [r for r in records if r.get("type") == "summary"]
     if len(summaries) != 1:
@@ -92,6 +133,28 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
                       f"found {len(summaries)}")
     elif records[-1].get("type") != "summary":
         errors.append("summary must be the last record")
+
+    # Span ids are validated in two passes: parents may close after
+    # their children (completion order), so the reference check needs
+    # the full id set first.
+    span_ids: Dict[str, int] = {}
+    if version >= 2:
+        for record in records[1:]:
+            if record.get("type") != "span":
+                continue
+            span_id = record.get("id")
+            line = record["_line"]
+            if not isinstance(span_id, str) or not span_id:
+                errors.append(f"line {line}: span field 'id' must be a "
+                              f"non-empty string, got {span_id!r}")
+                continue
+            if span_id in span_ids:
+                errors.append(
+                    f"line {line}: duplicate span id {span_id!r} "
+                    f"(first seen on line {span_ids[span_id]})"
+                )
+            else:
+                span_ids[span_id] = line
 
     for record in records[1:]:
         line = record["_line"]
@@ -105,6 +168,29 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
             _check_number(record, "depth", line, errors, minimum=0)
             if "attrs" in record and not isinstance(record["attrs"], dict):
                 errors.append(f"line {line}: span attrs must be an object")
+            if version >= 2:
+                parent = record.get("parent")
+                if parent is not None:
+                    if not isinstance(parent, str) or not parent:
+                        errors.append(
+                            f"line {line}: span field 'parent' must be a "
+                            f"non-empty string, got {parent!r}"
+                        )
+                    elif parent not in span_ids:
+                        errors.append(
+                            f"line {line}: span parent {parent!r} does "
+                            f"not reference any span id in this trace"
+                        )
+                process = record.get("process")
+                if process is not None and (
+                    not isinstance(process, str) or not _valid_name(process)
+                ):
+                    errors.append(
+                        f"line {line}: span field 'process' must be a "
+                        f"lowercase identifier, got {process!r}"
+                    )
+                _check_optional_int(record, "worker", line, errors)
+                _check_optional_int(record, "region", line, errors)
         elif kind == "event":
             if not _valid_name(record.get("name")):
                 errors.append(f"line {line}: invalid event name "
@@ -112,6 +198,8 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
             _check_number(record, "t", line, errors, minimum=0.0)
             if "attrs" in record and not isinstance(record["attrs"], dict):
                 errors.append(f"line {line}: event attrs must be an object")
+            if version >= 2:
+                _check_optional_int(record, "worker", line, errors)
         elif kind == "summary":
             for section in ("counters", "gauges", "histograms", "spans"):
                 table = record.get(section)
@@ -143,23 +231,59 @@ def validate_trace_lines(lines: List[str]) -> List[str]:
     return errors
 
 
-def validate_trace_file(path: str) -> List[str]:
+def validate_trace_file(
+    path: str, notes: Optional[List[str]] = None
+) -> List[str]:
     """Validate a trace file on disk; returns a list of error strings."""
     with open(path, "r", encoding="utf-8") as handle:
-        return validate_trace_lines(handle.read().splitlines())
+        return validate_trace_lines(handle.read().splitlines(), notes=notes)
+
+
+def expand_trace_paths(paths: List[str]) -> List[str]:
+    """Resolve CLI arguments to trace files: directories expand to
+    their sorted ``*.jsonl`` members (per-worker shard layout)."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            out.extend(sorted(glob.glob(os.path.join(path, "*.jsonl"))))
+        else:
+            out.append(path)
+    return out
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if len(argv) != 1:
-        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+    if not argv:
+        print(
+            "usage: python -m repro.obs.schema TRACE.jsonl [MORE.jsonl | DIR ...]",
+            file=sys.stderr,
+        )
         return 2
-    errors = validate_trace_file(argv[0])
-    for error in errors:
-        print(error, file=sys.stderr)
-    if not errors:
-        print(f"{argv[0]}: valid {SCHEMA_NAME} v{SCHEMA_VERSION}")
-    return 1 if errors else 0
+    paths = expand_trace_paths(argv)
+    if not paths:
+        print("error: no *.jsonl trace files found", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        notes: List[str] = []
+        try:
+            errors = validate_trace_file(path, notes=notes)
+        except OSError as error:
+            print(f"{path}: cannot read ({error})", file=sys.stderr)
+            failed = True
+            continue
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            suffix = ""
+            if notes:
+                suffix = " (legacy trace)"
+                for note in notes:
+                    print(f"{path}: note: {note}")
+            print(f"{path}: valid {SCHEMA_NAME}{suffix}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

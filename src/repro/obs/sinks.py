@@ -10,6 +10,7 @@ for plotting utilization over the tile grid.
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, List, Optional
 
 from repro.obs.schema import SCHEMA_NAME, SCHEMA_VERSION
@@ -37,6 +38,9 @@ class JsonlTraceSink:
             "schema": SCHEMA_NAME,
             "version": SCHEMA_VERSION,
         }
+        trace_id = getattr(observer, "trace_id", None)
+        if trace_id is not None:
+            header["trace_id"] = trace_id
         header.update(self.meta)
         self.write(header)
 
@@ -54,6 +58,56 @@ class JsonlTraceSink:
         self.write(summary)
         self._file.close()
         self._file = None
+
+    def disinherit(self) -> None:
+        """Abandon a fork-inherited file handle without flushing it.
+
+        A forked worker shares the parent's open file description; the
+        bytes the parent buffered before the fork sit in the child's
+        copy of the write buffer too, and interpreter shutdown would
+        flush them a second time — duplicating the parent's records
+        mid-file.  Redirect the child's descriptor at the null device
+        so the inevitable flush goes nowhere, then drop the handle.
+        """
+        if self._file is None:
+            return
+        try:
+            null_fd = os.open(os.devnull, os.O_WRONLY)
+            try:
+                os.dup2(null_fd, self._file.fileno())
+            finally:
+                os.close(null_fd)
+        except (OSError, ValueError):
+            pass
+        self._file = None
+
+
+class MemorySink:
+    """In-memory record buffer with the sink interface.
+
+    Pool workers attach one instead of a file sink: the forked child
+    must not write into the parent's JSONL handle, so span/event
+    records buffer here and ship back to the parent with each region's
+    result (``obs_records``), where they are folded into the parent's
+    observer/sink via ``Observer.adopt_records``.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def open(self, observer) -> None:  # noqa: ARG002 - sink interface
+        return None
+
+    def write(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def close(self, observer) -> None:  # noqa: ARG002 - sink interface
+        return None
+
+    def take(self) -> List[Dict[str, object]]:
+        """Drain and return everything buffered since the last take."""
+        records, self.records = self.records, []
+        return records
 
 
 def congestion_heatmap(global_result) -> Dict[str, object]:

@@ -19,6 +19,7 @@ from repro.flow.bonnroute import BonnRouteFlow
 from repro.io.textformat import write_chip_file
 from repro.obs import (
     OBS,
+    FlightRecorder,
     Histogram,
     JsonlTraceSink,
     Observer,
@@ -26,7 +27,9 @@ from repro.obs import (
     validate_trace_file,
     validate_trace_lines,
 )
+from repro.obs import schema as trace_schema
 from repro.obs.core import _NULL_CONTEXT
+from repro.obs.resource import ResourceSampler, peak_rss_bytes, rss_bytes
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -267,3 +270,180 @@ class TestCliTrace:
         heatmap = json.loads(Path(heatmap_path).read_text())
         assert heatmap["type"] == "congestion_heatmap"
         assert heatmap["edges"]
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_oldest_first(self):
+        ring = FlightRecorder(capacity=4)
+        for i in range(10):
+            ring.add({"type": "note", "name": "n.note", "t": float(i)})
+        dump = ring.dump()
+        assert len(ring) == 4
+        assert [r["t"] for r in dump] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_flight_note_records_with_observability_off(self):
+        assert not OBS.enabled
+        OBS.flight_note("resilience.net_failure", net="n3", reason="timeout")
+        dump = OBS.flight.dump()
+        assert len(dump) == 1
+        assert dump[0]["name"] == "resilience.net_failure"
+        assert dump[0]["attrs"] == {"net": "n3", "reason": "timeout"}
+        # The always-on channel must not wake the rest of the registry.
+        assert OBS.spans == []
+        assert dict(OBS.counters) == {}
+
+    def test_spans_and_events_enter_ring_when_enabled(self):
+        OBS.configure(enabled=True)
+        with OBS.trace("flow.global"):
+            OBS.event("sharing.phase", phase=1)
+        kinds = [r["type"] for r in OBS.flight.dump()]
+        assert kinds == ["event", "span"]
+
+    def test_reset_clears_the_ring(self):
+        OBS.flight_note("flow.stage", stage="global")
+        assert len(OBS.flight) == 1
+        OBS.reset()
+        assert len(OBS.flight) == 0
+
+
+class TestTraceContextV2:
+    def test_span_ids_and_parent_links_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = FakeClock()
+        obs = Observer(enabled=True, clock=clock)
+        obs.configure(enabled=True, sink=JsonlTraceSink(str(path)))
+        assert obs.trace_id
+        with obs.trace("flow.run"):
+            outer = obs.current_span_id()
+            assert outer == "m-1"
+            with obs.trace("flow.global"):
+                clock.tick(0.1)
+        obs.close()
+
+        lines = path.read_text().splitlines()
+        assert validate_trace_lines(lines) == []
+        records = [json.loads(line) for line in lines]
+        assert records[0]["version"] == 2
+        assert records[0]["trace_id"] == obs.trace_id
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["flow.run"]["id"] == "m-1"
+        assert "parent" not in spans["flow.run"]
+        assert spans["flow.global"]["parent"] == "m-1"
+        # Main-process spans carry no process/worker fields.
+        assert "process" not in spans["flow.run"]
+        assert "worker" not in spans["flow.run"]
+
+    def test_worker_context_prefixes_ids_and_grafts_root(self):
+        obs = Observer(enabled=True)
+        obs.configure(enabled=True)
+        obs.set_context(
+            trace_id="abc123", process="worker", worker_id=3,
+            root_parent_id="m-7",
+        )
+        with obs.trace("droute.net", net="n1"):
+            span_id = obs.current_span_id()
+        assert span_id == "w3-1"
+        record = obs.spans[-1].as_record()
+        assert record["process"] == "worker"
+        assert record["worker"] == 3
+        assert record["parent"] == "m-7"
+
+
+class TestValidatorV2:
+    def _lines(self, *bodies, version=2):
+        meta = {"type": "meta", "schema": "repro-trace", "version": version}
+        summary = {"type": "summary", "counters": {}, "gauges": {},
+                   "histograms": {}, "spans": {}}
+        return [json.dumps(r) for r in (meta, *bodies, summary)]
+
+    def test_v1_validates_with_legacy_note(self):
+        notes = []
+        lines = self._lines(
+            {"type": "span", "name": "flow.run", "start": 0.0,
+             "dur": 1.0, "depth": 0},
+            version=1,
+        )
+        assert validate_trace_lines(lines, notes=notes) == []
+        assert any("legacy" in note for note in notes)
+
+    def test_v2_rejects_duplicate_span_ids(self):
+        span = {"type": "span", "name": "flow.run", "start": 0.0,
+                "dur": 1.0, "depth": 0, "id": "m-1"}
+        errors = validate_trace_lines(self._lines(span, dict(span)))
+        assert any("duplicate span id" in e for e in errors)
+
+    def test_v2_rejects_unknown_parent(self):
+        span = {"type": "span", "name": "flow.run", "start": 0.0,
+                "dur": 1.0, "depth": 0, "id": "m-1", "parent": "m-99"}
+        errors = validate_trace_lines(self._lines(span))
+        assert any("does not reference" in e for e in errors)
+
+    def test_cli_accepts_multiple_files_and_directories(self, tmp_path, capsys):
+        good = tmp_path / "a.jsonl"
+        good.write_text("\n".join(self._lines()) + "\n")
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        legacy = shard_dir / "b.jsonl"
+        legacy.write_text("\n".join(self._lines(version=1)) + "\n")
+        assert trace_schema.main([str(good), str(shard_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"{good}: valid repro-trace" in out
+        assert f"{legacy}: valid repro-trace (legacy trace)" in out
+
+    def test_cli_fails_on_any_invalid_shard(self, tmp_path):
+        good = tmp_path / "a.jsonl"
+        good.write_text("\n".join(self._lines()) + "\n")
+        bad = tmp_path / "b.jsonl"
+        bad.write_text("not json\n")
+        assert trace_schema.main([str(good), str(bad)]) == 1
+
+
+class TestResourceTelemetry:
+    def test_sampler_publishes_gauges_when_enabled(self):
+        OBS.configure(enabled=True)
+        sampler = ResourceSampler()
+        assert sampler.sample() > 0
+        assert OBS.gauges["resource.rss_bytes"] > 0
+        assert (
+            OBS.gauges["resource.rss_peak_bytes"]
+            >= OBS.gauges["resource.rss_bytes"]
+        )
+        assert OBS.gauges["resource.gc_collections"] >= 0
+
+    def test_sampler_is_silent_when_disabled(self):
+        assert not OBS.enabled
+        sampler = ResourceSampler()
+        assert sampler.sample() > 0
+        assert dict(OBS.gauges) == {}
+
+    def test_raw_readings_are_sane(self):
+        assert rss_bytes() > 0
+        assert peak_rss_bytes() >= rss_bytes() // 2
+
+
+class TestFlowFlightDump:
+    def test_net_failure_dumps_ring_with_obs_off(self):
+        from repro.flow.faults import FaultPlan, FaultSpec
+
+        assert not OBS.enabled
+        chip = generate_chip(SPEC)
+        victim = chip.nets[0].name
+        # Fault both attempt sites: the isr_fallback rung survives pure
+        # path_search faults, and a recovered net leaves no failure.
+        plan = FaultPlan(
+            [
+                FaultSpec("path_search", nets=[victim], fires_per_net=None),
+                FaultSpec("pin_access", nets=[victim], fires_per_net=None),
+            ],
+            seed=1,
+        )
+        result = BonnRouteFlow(
+            chip, gr_phases=4, seed=1, cleanup=False, fault_plan=plan
+        ).run()
+        report = result.failure_report
+        assert victim in report.net_failures
+        assert report.flight_recorder
+        names = [r.get("name") for r in report.flight_recorder]
+        assert "resilience.net_failure" in names
+        assert "flow.stage" in names
+        assert report.as_dict()["flight_recorder"] == report.flight_recorder

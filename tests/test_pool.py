@@ -266,3 +266,57 @@ class TestFaultParity:
         assert par.routed == serial.routed
         assert par.failed == serial.failed
         assert par_routes == serial_routes
+
+
+@needs_fork
+class TestMetricRepatriation:
+    """Worker counters/gauges/histograms must fold back into the parent."""
+
+    def _routing_metrics(self):
+        from repro.obs import OBS
+
+        counters = {
+            name: value
+            for name, value in OBS.counters.items()
+            if name.startswith(("pathsearch.", "droute."))
+        }
+        histograms = {
+            name: (histogram.count, histogram.total)
+            for name, histogram in OBS.histograms.items()
+            if name == "pathsearch.labels_per_search"
+        }
+        return counters, histograms
+
+    def test_parallel_histogram_and_counter_totals_match_serial(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.configure(enabled=True)
+        try:
+            serial, _, _ = run_router(1)
+            serial_counters, serial_histograms = self._routing_metrics()
+
+            OBS.reset()
+            OBS.configure(enabled=True)
+            parallel, _, _ = run_router(2)
+            parallel_counters, parallel_histograms = self._routing_metrics()
+            parallel_gauges = dict(OBS.gauges)
+        finally:
+            OBS.reset()
+            OBS.enabled = False
+
+        assert serial.routed == parallel.routed
+        # Merge conflicts would re-route nets in the parent and
+        # double-count work; the healthy-run premise of this parity
+        # check is conflict-free merging.
+        assert parallel_counters.get("pool.merge_conflicts", 0) == 0
+        assert serial_histograms["pathsearch.labels_per_search"][0] > 0
+        assert parallel_histograms == serial_histograms
+        assert parallel_counters == serial_counters
+        # Gauges repatriate too: workers publish resource telemetry the
+        # serial path never sets, and it must survive the merge.
+        assert parallel_gauges.get("resource.rss_bytes", 0) > 0
+        assert (
+            parallel_gauges.get("resource.rss_peak_bytes", 0)
+            >= parallel_gauges.get("resource.rss_bytes", 0)
+        )

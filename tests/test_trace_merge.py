@@ -1,0 +1,182 @@
+"""Deterministic trace-merge tests for parallel runs (repro-trace v2).
+
+A traced ``--workers N`` flow must produce ONE schema-valid v2 trace
+whose merged span tree is identical to the serial run's, modulo
+timings and the worker lanes the spans ran in.  The pool machinery
+adds its own ``pool.*`` spans; the canonical-tree comparison lifts
+worker spans over them so serial and parallel trees align.
+"""
+
+import json
+
+import pytest
+
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute import pool
+from repro.flow.bonnroute import BonnRouteFlow
+from repro.flow.faults import FaultPlan, FaultSpec
+from repro.obs import OBS, JsonlTraceSink
+from repro.obs.report import build_report
+from repro.obs.schema import validate_trace_lines
+
+POOL_SPEC = ChipSpec("pooltest", rows=3, row_width_cells=6, net_count=12, seed=11)
+
+needs_fork = pytest.mark.skipif(
+    not pool.fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_observer():
+    OBS.reset()
+    OBS.enabled = False
+    yield
+    OBS.close()
+    OBS.reset()
+    OBS.enabled = False
+
+
+def run_traced_flow(tmp_path, workers, fault_plan=None):
+    """One traced flow run; returns ``(flow_result, trace_records)``."""
+    trace_path = tmp_path / f"trace_w{workers}.jsonl"
+    OBS.reset()
+    OBS.configure(enabled=True, sink=JsonlTraceSink(str(trace_path)))
+    chip = generate_chip(POOL_SPEC)
+    # Prerouting would absorb the local nets and leave the partition
+    # rounds single-region — the pool never forks on a chip this small.
+    result = BonnRouteFlow(
+        chip,
+        gr_phases=4,
+        seed=1,
+        cleanup=False,
+        workers=workers,
+        preroute_local_nets=False,
+        fault_plan=fault_plan,
+    ).run()
+    OBS.close()
+    OBS.enabled = False
+    lines = trace_path.read_text(encoding="utf-8").splitlines()
+    assert validate_trace_lines(list(lines)) == []
+    return result, [json.loads(line) for line in lines]
+
+
+def spans_of(records):
+    return [r for r in records if r.get("type") == "span"]
+
+
+def canonical_tree(records):
+    """The span forest with ``pool.*`` plumbing spans elided.
+
+    Worker spans are parented to the ``pool.round`` span of their
+    round; serial runs have no such span.  Lifting every span over its
+    ``pool.*`` ancestors (and dropping the pool spans themselves)
+    yields a tree that must be identical for any worker count.  Nodes
+    compare on ``(name, attrs, children)`` — no timings, ids or lanes.
+    """
+    by_id = {s["id"]: s for s in spans_of(records)}
+
+    def effective_parent(span):
+        parent = span.get("parent")
+        while parent is not None:
+            node = by_id.get(parent)
+            if node is None:
+                return None
+            if not str(node["name"]).startswith("pool."):
+                return parent
+            parent = node.get("parent")
+        return None
+
+    children = {}
+    roots = []
+    for span in by_id.values():
+        if str(span["name"]).startswith("pool."):
+            continue
+        parent = effective_parent(span)
+        if parent is None:
+            roots.append(span["id"])
+        else:
+            children.setdefault(parent, []).append(span["id"])
+
+    def node(span_id):
+        span = by_id[span_id]
+        attrs = tuple(
+            sorted((k, str(v)) for k, v in (span.get("attrs") or {}).items())
+        )
+        kids = tuple(sorted(node(kid) for kid in children.get(span_id, [])))
+        return (span["name"], attrs, kids)
+
+    return tuple(sorted(node(root) for root in roots))
+
+
+@needs_fork
+class TestParallelTraceV2:
+    def test_workers_two_trace_is_valid_and_multi_process(self, tmp_path):
+        _, records = run_traced_flow(tmp_path, workers=2)
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["version"] == 2
+        assert meta["trace_id"]
+        spans = spans_of(records)
+        worker_spans = [s for s in spans if s.get("process") == "worker"]
+        assert worker_spans, "no worker spans shipped back to the parent"
+        assert len({s["worker"] for s in worker_spans}) >= 2
+        ids = {s["id"] for s in spans}
+        for span in spans:
+            assert span.get("parent") is None or span["parent"] in ids
+        # Worker roots graft onto the round span that forked them.
+        round_ids = {s["id"] for s in spans if s["name"] == "pool.round"}
+        grafted = [s for s in worker_spans if s.get("parent") in round_ids]
+        assert grafted, "worker spans never attached to a pool.round span"
+
+    def test_span_tree_identical_for_any_worker_count(self, tmp_path):
+        trees = {}
+        for workers in (1, 2, 4):
+            _, records = run_traced_flow(tmp_path, workers=workers)
+            trees[workers] = canonical_tree(records)
+        assert trees[2] == trees[1]
+        assert trees[4] == trees[1]
+
+    def test_report_renders_one_lane_per_worker(self, tmp_path):
+        _, records = run_traced_flow(tmp_path, workers=2)
+        html = build_report("lanes", trace_records=records)
+        assert 'data-lane="main"' in html
+        assert 'data-lane="worker-0"' in html
+        assert 'data-lane="worker-1"' in html
+
+    def test_serial_trace_has_no_lane_rows(self, tmp_path):
+        _, records = run_traced_flow(tmp_path, workers=1)
+        html = build_report("lanes", trace_records=records)
+        assert "data-lane" not in html
+
+
+@needs_fork
+class TestCrashFlightDump:
+    def test_worker_crash_dumps_flight_ring_with_obs_off(self):
+        # OBS stays disabled: the flight recorder is always-on and must
+        # land its ring in the failure report without any tracing.
+        chip = generate_chip(POOL_SPEC)
+        names = [net.name for net in chip.nets]
+        plan = FaultPlan(
+            [FaultSpec("worker", nets=names, kind="kill")], seed=5
+        )
+        result = BonnRouteFlow(
+            chip,
+            gr_phases=4,
+            seed=1,
+            cleanup=False,
+            workers=2,
+            preroute_local_nets=False,
+            fault_plan=plan,
+        ).run()
+        report = result.failure_report
+        crashes = [
+            e for e in report.pool_events if e["kind"] == "worker_crash"
+        ]
+        assert crashes, report.pool_events
+        flight = crashes[0].get("flight")
+        assert flight, "worker_crash event carries no flight-ring dump"
+        assert any(
+            r.get("name") == "pool.worker_crash" for r in flight
+        )
+        assert report.flight_recorder
+        assert report.as_dict()["flight_recorder"] == report.flight_recorder
