@@ -79,7 +79,7 @@ def test_fig4_fastgrid_words(benchmark):
     # The blocked run shows up as non-free marks.
     assert "#" in "".join(marks)
     # Interval grouping: far fewer intervals than cached words.
-    cached = sum(len(tc) for tc in fast._cache.values())
+    cached = fast.cached_word_count()
     assert 0 < intervals < cached
     # Zigzag bit: both endpoint words look usable, yet the edge between
     # vertices 12 and 13 fails the forced segment check.

@@ -13,11 +13,17 @@ kernel configuration:
   future cost pi_GR.  The stronger bound must cut labels pushed by at
   least 25% against the heap reference while wiring quality stays at
   parity.
+* ``vec_off`` - the default kernel on the scalar (non-numpy) fast-grid
+  backend (``REPRO_FASTGRID_NOVEC=1``): the legality-grid vectorization
+  ablation.  The packed encoding is identical in both backends, so this
+  arm must reproduce the ``bucket`` arm bit for bit - only wall clock
+  may move.
 
 The run persists into ``BENCH_pathsearch.json``; the label/pop counters
 are gated by ``python -m repro.obs.regress``.
 """
 
+import os
 import time
 
 from benchmarks.common import (
@@ -40,16 +46,28 @@ KERNELS = (
     ("heap", lambda: "heap"),
     ("bucket_nofc", lambda: BucketKernel(corridor_future_cost=False)),
     ("bucket", lambda: "bucket"),
+    # vec_off: default kernel, scalar fast-grid backend (vectorization
+    # ablation) - flagged via environment so every RoutingSpace the flow
+    # builds picks it up.
+    ("vec_off", lambda: "bucket"),
 )
 
 
-def _run_flow(kernel):
+def _run_flow(kernel, novec=False):
     chip = generate_chip(SPEC)
-    start = time.time()
-    result = BonnRouteFlow(
-        chip, gr_phases=10, seed=1, search_kernel=kernel
-    ).run()
-    elapsed = time.time() - start
+    old = os.environ.pop("REPRO_FASTGRID_NOVEC", None)
+    if novec:
+        os.environ["REPRO_FASTGRID_NOVEC"] = "1"
+    try:
+        start = time.time()
+        result = BonnRouteFlow(
+            chip, gr_phases=10, seed=1, search_kernel=kernel
+        ).run()
+        elapsed = time.time() - start
+    finally:
+        os.environ.pop("REPRO_FASTGRID_NOVEC", None)
+        if old is not None:
+            os.environ["REPRO_FASTGRID_NOVEC"] = old
     metrics = result.metrics
     counters = obs_work_counters()
     return {
@@ -73,12 +91,13 @@ def test_kernel_ablation(benchmark):
         out = {}
         for name, factory in KERNELS:
             with bench_observability():
-                out[name] = _run_flow(factory())
+                out[name] = _run_flow(factory(), novec=(name == "vec_off"))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    heap, nofc, bucket = (
-        results["heap"], results["bucket_nofc"], results["bucket"]
+    heap, nofc, bucket, vec_off = (
+        results["heap"], results["bucket_nofc"], results["bucket"],
+        results["vec_off"],
     )
 
     rows = [
@@ -113,6 +132,15 @@ def test_kernel_ablation(benchmark):
         "the bucket kernel must not leave more DRC errors behind"
     )
 
+    # The scalar fast-grid backend is a pure wall-clock ablation: the
+    # packed words are bit-identical, so results must match exactly.
+    for key in ("labels", "pops", "processed", "searches",
+                "netlength", "vias", "errors"):
+        assert vec_off[key] == bucket[key], (
+            f"vec_off must reproduce bucket exactly, {key} differs: "
+            f"{vec_off[key]} != {bucket[key]}"
+        )
+
     work = {}
     for name, r in results.items():
         for key in ("labels", "pops", "processed", "searches",
@@ -128,6 +156,9 @@ def test_kernel_ablation(benchmark):
         bucket["netlength"] != heap["netlength"]
     )
     work["parity.vias_mismatch"] = int(bucket["vias"] != heap["vias"])
+    work["parity.vec_off_mismatch"] = int(
+        any(vec_off[k] != bucket[k] for k in ("labels", "netlength", "vias"))
+    )
     wall_clock = {f"{name}.route_s": r["wall_s"] for name, r in results.items()}
     columns = {
         "chip": SPEC.name,

@@ -320,7 +320,11 @@ class FutureCostGR:
             # filtered at vertex granularity) plus the interval entry
             # penalties the forward metric charges; its lazy per-track
             # cache is shared with the forward search, so openness is
-            # probed on demand instead of pre-enumerated.
+            # probed on demand instead of pre-enumerated.  Through the
+            # view, both sweeps also share the space's cross-search
+            # IntervalCache: a track already scanned by any earlier
+            # search at the same epoch is reused here without touching
+            # the fast grid.
             self._build_view(targets, view, stop_vertices)
         else:
             blocked = _large_blockage_map(

@@ -18,12 +18,16 @@ Interval kinds:
 
 from __future__ import annotations
 
-import bisect
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.droute.area import RoutingArea
 from repro.droute.space import RoutingSpace, effective_via_type, effective_wire_type
 from repro.grid.trackgraph import Vertex
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - pure-python fallback
+    _np = None
 
 
 class SearchInterval:
@@ -90,6 +94,9 @@ class GraphView:
         self._intervals: List[SearchInterval] = []
         # (z, t) -> sorted list of (c_lo, interval_index)
         self._track_runs: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # (z, t) -> per-cross interval-index map (-1 where no interval);
+        # replaces the bisect in interval_at on its ~10^5-call hot path.
+        self._track_maps: Dict[Tuple[int, int], object] = {}
 
     # ------------------------------------------------------------------
     # Per-layer wire type resolution
@@ -156,35 +163,52 @@ class GraphView:
         return self.ripup_base_penalty * (1 + history)
 
     def _build_track(self, z: int, t: int) -> List[Tuple[int, int]]:
+        """Decompose track (z, t) into intervals via word-level scans.
+
+        The raw runs come from :meth:`FastGrid.scan_track_runs` over the
+        packed word arrays; for views without forced vertices on the
+        track they are additionally reused across searches through the
+        space's :class:`IntervalCache` (validated by the track epoch).
+        Penalties are applied here, per view, so cached runs stay
+        view-independent.
+        """
         runs: List[Tuple[int, int]] = []
         layer_type = self.type_for_layer(z)
-        for c_lo, c_hi in self.area.cross_ranges(self.graph, z, t):
-            if layer_type is None:
-                continue
-            # Fill the fast grid for the whole segment with one batched
-            # shape-grid traversal before the per-vertex loop.
-            self.space.fast_grid.ensure_words(layer_type, z, t, c_lo, c_hi)
-            run_start: Optional[int] = None
-            for c in range(c_lo, c_hi + 1):
-                vertex = (z, t, c)
-                usable, needs_ripup = self._wire_state(vertex)
-                if usable and not needs_ripup:
-                    if run_start is None:
-                        run_start = c
-                    continue
-                if run_start is not None:
-                    runs.append(self._new_interval(z, t, run_start, c - 1))
-                    run_start = None
-                if usable and needs_ripup:
-                    runs.append(
-                        self._new_interval(
-                            z, t, c, c,
-                            penalty=self._ripup_penalty(vertex),
-                            needs_ripup=True,
-                        )
+        if layer_type is None:
+            return runs
+        ranges = tuple(self.area.cross_ranges(self.graph, z, t))
+        if not ranges:
+            return runs
+        fast = self.space.fast_grid
+        forced_cs = {v[2] for v in self.forced if v[0] == z and v[1] == t}
+        cache = self.space.interval_cache
+        raw = None
+        key = None
+        # Forced (source/target) vertices override their words, so those
+        # tracks bypass the cross-search cache; so does a disabled grid
+        # (every scan would recompute anyway).
+        if cache is not None and not forced_cs and fast.enabled:
+            key = (self.wire_type_name, self.ripup_level, z, t, ranges)
+            raw = cache.lookup(key, fast.track_epoch(z, t))
+        if raw is None:
+            raw = fast.scan_track_runs(
+                layer_type, z, t, ranges,
+                self.ripup_level if self.ripup_level >= 0 else -2,
+                forced_cs or None,
+            )
+            if key is not None:
+                cache.store(key, fast.track_epoch(z, t), raw)
+        for c_lo, c_hi, needs_ripup in raw:
+            if needs_ripup:
+                runs.append(
+                    self._new_interval(
+                        z, t, c_lo, c_hi,
+                        penalty=self._ripup_penalty((z, t, c_lo)),
+                        needs_ripup=True,
                     )
-            if run_start is not None:
-                runs.append(self._new_interval(z, t, run_start, c_hi))
+                )
+            else:
+                runs.append(self._new_interval(z, t, c_lo, c_hi))
         return runs
 
     def _new_interval(
@@ -205,7 +229,27 @@ class GraphView:
         if runs is None:
             runs = self._build_track(z, t)
             self._track_runs[key] = runs
+            self._track_maps[key] = self._build_track_map(z, runs)
         return runs
+
+    def _build_track_map(self, z: int, runs: List[Tuple[int, int]]):
+        """Per-cross map c -> interval index (-1 outside any interval)."""
+        ncross = len(self.graph.crosses[z])
+        if _np is not None and self.space.fast_grid.vectorized:
+            cmap = _np.full(ncross, -1, dtype=_np.int32)
+        else:
+            cmap = [-1] * ncross
+        intervals = self._intervals
+        if _np is not None and isinstance(cmap, _np.ndarray):
+            for _c_lo, index in runs:
+                interval = intervals[index]
+                cmap[interval.c_lo:interval.c_hi + 1] = index
+        else:
+            for _c_lo, index in runs:
+                interval = intervals[index]
+                for c in range(interval.c_lo, interval.c_hi + 1):
+                    cmap[c] = index
+        return cmap
 
     def interval(self, index: int) -> SearchInterval:
         return self._intervals[index]
@@ -214,12 +258,15 @@ class GraphView:
         z, t, c = vertex
         if t < 0 or t >= len(self.graph.tracks[z]):
             return None
-        runs = self.track_intervals(z, t)
-        pos = bisect.bisect_right(runs, (c, 1 << 60)) - 1
-        if pos < 0:
+        key = (z, t)
+        cmap = self._track_maps.get(key)
+        if cmap is None:
+            self.track_intervals(z, t)
+            cmap = self._track_maps[key]
+        if c < 0 or c >= len(cmap):
             return None
-        interval = self._intervals[runs[pos][1]]
-        return interval if c in interval else None
+        index = cmap[c]
+        return self._intervals[index] if index >= 0 else None
 
     @property
     def interval_count(self) -> int:

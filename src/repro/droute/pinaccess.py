@@ -117,6 +117,12 @@ class PinAccessPlanner:
         #: Catalogue cache per circuit class (Sec. 4.3); key includes the
         #: track phase and the neighbourhood geometry.
         self._class_cache: Dict[Tuple, Dict[str, List[AccessPath]]] = {}
+        #: Exact-input memo for :meth:`build_catalogue`: key = (pin,
+        #: radius, all shape-grid geometry any of its checks can read).
+        #: Identical inputs make the blockage-grid Dijkstras and via
+        #: checks deterministic, so replaying the cached result is
+        #: bit-identical to rebuilding — it only skips the work.
+        self._catalogue_memo: Dict[Tuple, List[AccessPath]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -164,12 +170,68 @@ class PinAccessPlanner:
         candidates.sort()
         return [v for _, v in candidates[: self.max_endpoints]]
 
+    def _catalogue_fingerprint(self, pin: Pin, window: Rect, tau: int) -> Tuple:
+        """Every shape-grid entry a catalogue build can read.
+
+        Covers the obstacle window plus the interaction reach of the
+        endpoint via checks on the pin layer and its neighbours; two
+        builds with equal fingerprints see identical geometry, so their
+        results are identical.
+        """
+        chip = self.space.chip
+        stack = chip.stack
+        pin_layer = pin.layers[0]
+        entries = []
+        for layer in (pin_layer - 1, pin_layer, pin_layer + 1):
+            if not stack.has_layer(layer):
+                continue
+            reach = (
+                tau
+                + chip.rules.max_interaction_distance(layer)
+                + 2 * stack[layer].pitch
+            )
+            for entry in self.space.shape_grid.query(
+                "wiring", layer, window.expanded(reach)
+            ):
+                r = entry.rect
+                entries.append((
+                    "wiring", layer, r.x_lo, r.y_lo, r.x_hi, r.y_hi,
+                    entry.net, str(entry.shape_kind), entry.ripup_level,
+                    entry.rule_width,
+                ))
+        for via_layer in (pin_layer - 1, pin_layer):
+            if via_layer not in stack.via_layers():
+                continue
+            reach = tau + 4 * stack[via_layer].pitch
+            for entry in self.space.shape_grid.query(
+                "via", via_layer, window.expanded(reach)
+            ):
+                r = entry.rect
+                entries.append((
+                    "via", via_layer, r.x_lo, r.y_lo, r.x_hi, r.y_hi,
+                    entry.net, str(entry.shape_kind), entry.ripup_level,
+                    entry.rule_width,
+                ))
+        return tuple(sorted(entries, key=repr))
+
+    @staticmethod
+    def _copy_path(path: AccessPath) -> AccessPath:
+        return AccessPath(
+            path.pin_name, path.net_name, path.layer, list(path.points),
+            path.via, path.endpoint, path.length, set(path.blockers),
+        )
+
     def build_catalogue(
         self, pin: Pin, radius_pitches: Optional[int] = None
     ) -> List[AccessPath]:
-        """DRC-clean tau-feasible access paths for one pin."""
-        if OBS.enabled:
-            OBS.count("pinaccess.catalogues_built")
+        """DRC-clean tau-feasible access paths for one pin.
+
+        Builds are memoized on (pin, radius, neighbourhood geometry): the
+        per-endpoint blockage-grid Dijkstras dominate the planner's cost,
+        and re-routed nets usually ask for the same pin over unchanged
+        geometry.  A hit replays copies of the cached paths — exactly
+        what a rebuild would produce.
+        """
         if self.fault_injector is not None:
             net_name = pin.net.name if pin.net is not None else None
             self.fault_injector.check("pin_access", net=net_name)
@@ -180,6 +242,16 @@ class PinAccessPlanner:
         bbox = pin.bounding_box()
         window = bbox.expanded(radius)
         tau = chip.rules.same_net_rules(pin_layer).min_segment_length
+        memo_key = (
+            pin.name, radius, self._catalogue_fingerprint(pin, window, tau)
+        )
+        cached = self._catalogue_memo.get(memo_key)
+        if cached is not None:
+            if OBS.enabled:
+                OBS.count("pinaccess.catalogue_memo_hits")
+            return [self._copy_path(p) for p in cached]
+        if OBS.enabled:
+            OBS.count("pinaccess.catalogues_built")
         obstacles = self._obstacles_near(pin, pin_layer, window.expanded(tau))
         endpoints = self._endpoint_candidates(pin, window)
         if not endpoints:
@@ -212,6 +284,9 @@ class PinAccessPlanner:
             if len(paths) >= self.max_paths:
                 break
         paths.sort(key=lambda p: p.length)
+        if len(self._catalogue_memo) >= 4096:
+            self._catalogue_memo.clear()
+        self._catalogue_memo[memo_key] = [self._copy_path(p) for p in paths]
         return paths
 
     def jumper_fallback(self, pin: Pin, require_legal: bool = True) -> List[AccessPath]:

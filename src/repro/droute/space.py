@@ -15,7 +15,7 @@ from repro.chip.design import Chip
 from repro.droute.route import NetRoute, ViaInstance
 from repro.geometry.rect import Rect
 from repro.grid.drc_query import DistanceRuleChecker, PlacementCheck
-from repro.grid.fastgrid import FastGrid
+from repro.grid.fastgrid import FastGrid, IntervalCache
 from repro.grid.shapegrid import RIPUP_FIXED, RipupLevel, ShapeGrid
 from repro.grid.trackgraph import TrackGraph, Vertex
 from repro.grid.tracks import TrackPlan, build_track_plan
@@ -55,6 +55,7 @@ class RoutingSpace:
         chip: Chip,
         track_plan: Optional[TrackPlan] = None,
         fast_grid_enabled: bool = True,
+        fast_grid_vectorized: Optional[bool] = None,
     ) -> None:
         self.chip = chip
         self.shape_grid = ShapeGrid(chip.die, chip.stack)
@@ -66,7 +67,12 @@ class RoutingSpace:
             self.checker,
             list(chip.wire_types.values()),
             enabled=fast_grid_enabled,
+            vectorized=fast_grid_vectorized,
         )
+        #: Cross-search cache of track interval decompositions, shared by
+        #: every GraphView over this space; epoch-validated, so mutations
+        #: need no explicit eviction.
+        self.interval_cache = IntervalCache()
         #: Routed wiring per net name.
         self.routes: Dict[str, NetRoute] = {}
         self._load_fixed_geometry()

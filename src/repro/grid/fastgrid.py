@@ -4,21 +4,37 @@ Caches, for a small set of frequently used wire types, the legality of the
 four shape types {preferred-direction wire, jog, via down, via up} at
 on-track locations, so the on-track path search rarely needs the (much
 slower) distance rule checking module.  Words are computed lazily and kept
-per track in interval-compressible caches; every shape insertion or
-removal invalidates the affected region.
+per track in *packed* per-track arrays; every shape insertion or removal
+invalidates the affected region by clearing validity bits and bumping
+generation counters (epochs) instead of popping dict entries.
+
+Storage layout: one uint16 word per vertex, four legal bits (bit ``i`` for
+``SHAPE_TYPES[i]``) plus four 3-bit ripup fields (bits ``4 + 3i``), with
+``RIPUP_FIXED`` encoded as 7.  The arrays are numpy when available and the
+grid is constructed ``vectorized``; otherwise a pure-python
+``array('H')``/``bytearray`` fallback keeps numpy optional (mirroring the
+path-search label arrays).
 
 Edge usability is deduced from the two endpoint vertex words whenever only
 on-track wiring is present; where off-track shapes are nearby, a *dirty
 bit* at a vertex forces a direct shape-grid query for its incident edges
-(the zigzag-edge bit of Fig. 4).
+(the zigzag-edge bit of Fig. 4).  Those segment checks are memoized per
+(wire type, edge) and validated against the global epoch, so repeated
+searches over an unchanged region stop re-querying the shape grid.
 
-The grid counts hits and misses, reproducing the paper's statistics
-(97.89 % of queries answered by the fast grid; 5.29x on-track speed-up).
+Counter semantics (normalized): ``hits``/``misses`` count *vertex-word
+lookups* (a batch fill counts one miss per word computed and one hit per
+word reused); ``fastgrid.queries`` counts *edge* queries, so hits may
+legitimately exceed queries.  ``fastgrid.interval_cache_hits`` and
+``fastgrid.segment_cache_hits`` count reuse in the two cross-search memo
+layers on top of the words themselves.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+from array import array
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry.rect import Rect
 from repro.grid.drc_query import DistanceRuleChecker, PlacementCheck, PrefetchedBand
@@ -28,12 +44,100 @@ from repro.grid.trackgraph import TrackGraph, Vertex
 from repro.tech.layers import Direction
 from repro.tech.wiring import StickFigure, WireType
 
+try:  # numpy is optional; the packed arrays fall back to array('H').
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via vectorized=False
+    _np = None
+
 #: Shape types a fast-grid word stores, in order.
 SHAPE_TYPES = ("wire", "jog", "via_down", "via_up")
+
+_SHAPE_INDEX = {name: i for i, name in enumerate(SHAPE_TYPES)}
 
 #: Per shape type: (legal, ripup_level_needed); RIPUP_FIXED when not even
 #: ripup can make it legal.
 Word = Tuple[Tuple[bool, int], ...]
+
+#: 3-bit ripup encoding: levels 0..6 verbatim, RIPUP_FIXED (and anything
+#: beyond the encodable range) as 7.
+_RIPUP_FIXED_ENC = 7
+
+
+def pack_word(word: Word) -> int:
+    """Pack a 4-entry legality word into one uint16."""
+    bits = 0
+    for i, (legal, needed) in enumerate(word):
+        if legal:
+            bits |= 1 << i
+        if needed == RIPUP_FIXED or needed > 6 or needed < 0:
+            enc = _RIPUP_FIXED_ENC
+        else:
+            enc = int(needed)
+        bits |= enc << (4 + 3 * i)
+    return bits
+
+
+def unpack_word(bits: int) -> Word:
+    """Inverse of :func:`pack_word`."""
+    out = []
+    for i in range(4):
+        legal = bool((bits >> i) & 1)
+        enc = (bits >> (4 + 3 * i)) & 7
+        out.append((legal, RIPUP_FIXED if enc == _RIPUP_FIXED_ENC else enc))
+    return tuple(out)
+
+
+class _TrackWords:
+    """Packed words + validity bits for one (wire type, layer, track)."""
+
+    __slots__ = ("words", "valid")
+
+    def __init__(self, ncross: int, vectorized: bool) -> None:
+        if vectorized:
+            self.words = _np.zeros(ncross, dtype=_np.uint16)
+            self.valid = _np.zeros(ncross, dtype=bool)
+        else:
+            self.words = array("H", bytes(2 * ncross))
+            self.valid = bytearray(ncross)
+
+
+class IntervalCache:
+    """Cross-search cache of track interval decompositions.
+
+    Keys carry everything a decomposition depends on besides the shapes
+    themselves — (wire type, ripup level, layer, track, area cross
+    ranges); values are penalty-free runs ``(c_lo, c_hi, needs_ripup)``
+    stamped with the track epoch they were scanned at.  A stale epoch is
+    a miss, so invalidation is generation-based: mutating the space never
+    walks this cache.  Penalties (ripup history, spreading) are applied
+    per :class:`~repro.droute.intervals.GraphView` on materialization, so
+    cached runs stay deterministic and view-independent.
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self._entries: Dict[tuple, Tuple[int, list]] = {}
+        self.max_entries = max_entries
+
+    def lookup(self, key: tuple, epoch: int) -> Optional[list]:
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != epoch:
+            if OBS.enabled:
+                OBS.count("fastgrid.interval_cache_misses")
+            return None
+        if OBS.enabled:
+            OBS.count("fastgrid.interval_cache_hits")
+        return entry[1]
+
+    def store(self, key: tuple, epoch: int, runs: list) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[key] = (epoch, runs)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class FastGrid:
@@ -45,6 +149,7 @@ class FastGrid:
         checker: DistanceRuleChecker,
         wire_types: Sequence[WireType],
         enabled: bool = True,
+        vectorized: Optional[bool] = None,
     ) -> None:
         self.graph = graph
         self.checker = checker
@@ -52,11 +157,23 @@ class FastGrid:
         #: When disabled, every query goes straight to the checker
         #: (ablation baseline for the 5.29x speed-up statistic).
         self.enabled = enabled
-        # cache[(wiretype, z, t)][c] -> Word
-        self._cache: Dict[Tuple[str, int, int], Dict[int, Word]] = {}
+        if vectorized is None:
+            vectorized = not os.environ.get("REPRO_FASTGRID_NOVEC")
+        #: Packed-array sweeps require numpy; the scalar fallback keeps
+        #: identical packed storage in ``array('H')``.
+        self.vectorized = bool(vectorized) and _np is not None
+        # (wiretype, z, t) -> packed per-track word array
+        self._tracks: Dict[Tuple[str, int, int], _TrackWords] = {}
         # Vertices whose incident edges cannot be deduced from vertex
         # words because off-track shapes are nearby.
         self._dirty: Dict[Tuple[int, int], set] = {}
+        #: Global generation counter, bumped once per invalidated region;
+        #: validates the segment-check memo.
+        self.epoch = 0
+        #: Per-(z, t) generation counters; validate interval-cache runs.
+        self._track_epochs: Dict[Tuple[int, int], int] = {}
+        # (wiretype, v, w) -> (epoch, legal, max_ripup_needed)
+        self._segment_memo: Dict[tuple, Tuple[int, bool, int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -105,23 +222,38 @@ class FastGrid:
                 checks.append((check.legal, check.max_ripup_needed))
         return tuple(checks)
 
+    def _track_words(self, wire_type_name: str, z: int, t: int) -> _TrackWords:
+        key = (wire_type_name, z, t)
+        tw = self._tracks.get(key)
+        if tw is None:
+            tw = _TrackWords(len(self.graph.crosses[z]), self.vectorized)
+            self._tracks[key] = tw
+        return tw
+
     def ensure_words(
         self, wire_type_name: str, z: int, t: int, c_lo: int, c_hi: int
-    ) -> None:
-        """Batch-fill the word cache for a track segment.
+    ) -> int:
+        """Batch-fill the word arrays for a track segment.
 
         One shape-grid traversal per (kind, layer) band replaces the
         per-vertex traversals; each vertex's checks then filter the
         prefetched entries by its own query window, giving results
-        identical to individual :meth:`word` calls.
+        identical to individual :meth:`word` calls.  Returns the number
+        of words actually computed (invalid before the call).
         """
         if not self.enabled or c_lo > c_hi:
-            return
-        key = (wire_type_name, z, t)
-        track_cache = self._cache.setdefault(key, {})
-        missing = [c for c in range(c_lo, c_hi + 1) if c not in track_cache]
+            return 0
+        tw = self._track_words(wire_type_name, z, t)
+        if self.vectorized:
+            missing = [
+                int(i) + c_lo
+                for i in _np.flatnonzero(~tw.valid[c_lo:c_hi + 1])
+            ]
+        else:
+            valid = tw.valid
+            missing = [c for c in range(c_lo, c_hi + 1) if not valid[c]]
         if not missing:
-            return
+            return 0
         wire_type = self.wire_types[wire_type_name]
         graph = self.graph
         stack = graph.stack
@@ -149,14 +281,41 @@ class FastGrid:
                     ),
                     axis_x=band.width >= band.height,
                 )
+        words = tw.words
+        valid = tw.valid
         for c in missing:
-            self.misses += 1
-            track_cache[c] = self._compute_word(
-                wire_type, (z, t, c), prefetched=prefetched
+            words[c] = pack_word(
+                self._compute_word(wire_type, (z, t, c), prefetched=prefetched)
             )
+            valid[c] = True
+        self.misses += len(missing)
         if OBS.enabled:
             OBS.count("fastgrid.misses", len(missing))
             OBS.count("fastgrid.words_prefetched", len(missing))
+        return len(missing)
+
+    def _packed(self, wire_type_name: str, vertex: Vertex) -> int:
+        """Packed legality word at a vertex, from cache or computed."""
+        wire_type = self.wire_types[wire_type_name]
+        if not self.enabled:
+            self.misses += 1
+            if OBS.enabled:
+                OBS.count("fastgrid.misses")
+            return pack_word(self._compute_word(wire_type, vertex))
+        z, t, c = vertex
+        tw = self._track_words(wire_type_name, z, t)
+        if tw.valid[c]:
+            self.hits += 1
+            if OBS.enabled:
+                OBS.count("fastgrid.hits")
+            return int(tw.words[c])
+        self.misses += 1
+        if OBS.enabled:
+            OBS.count("fastgrid.misses")
+        bits = pack_word(self._compute_word(wire_type, vertex))
+        tw.words[c] = bits
+        tw.valid[c] = True
+        return bits
 
     def word(self, wire_type_name: str, vertex: Vertex) -> Word:
         """Legality word at a vertex, from cache or freshly computed.
@@ -166,30 +325,25 @@ class FastGrid:
         components specially by temporarily removing their shapes
         (Sec. 4.4), so net-blind words stay correct.
         """
-        wire_type = self.wire_types[wire_type_name]
-        if not self.enabled:
-            self.misses += 1
-            if OBS.enabled:
-                OBS.count("fastgrid.misses")
-            return self._compute_word(wire_type, vertex)
-        z, t, c = vertex
-        key = (wire_type_name, z, t)
-        track_cache = self._cache.get(key)
-        if track_cache is None:
-            track_cache = {}
-            self._cache[key] = track_cache
-        word = track_cache.get(c)
-        if word is not None:
-            self.hits += 1
-            if OBS.enabled:
-                OBS.count("fastgrid.hits")
-            return word
-        self.misses += 1
-        if OBS.enabled:
-            OBS.count("fastgrid.misses")
-        word = self._compute_word(wire_type, vertex)
-        track_cache[c] = word
-        return word
+        return unpack_word(self._packed(wire_type_name, vertex))
+
+    def cached_word(
+        self, wire_type_name: str, z: int, t: int, c: int
+    ) -> Optional[Word]:
+        """The stored word at (z, t, c), or None when not cached.
+
+        Read-only introspection for tests and stats — never computes.
+        """
+        tw = self._tracks.get((wire_type_name, z, t))
+        if tw is None or not tw.valid[c]:
+            return None
+        return unpack_word(int(tw.words[c]))
+
+    def cached_word_count(self) -> int:
+        """Number of currently valid cached words across all tracks."""
+        if self.vectorized:
+            return sum(int(tw.valid.sum()) for tw in self._tracks.values())
+        return sum(sum(tw.valid) for tw in self._tracks.values())
 
     # ------------------------------------------------------------------
     # Usability queries used by the path search
@@ -202,22 +356,20 @@ class FastGrid:
         ``ripup_level`` -2 (default) requires full legality; otherwise
         shapes up to that ripup level may be assumed removable.
         """
-        legal, needed = self.word(wire_type_name, vertex)[
-            SHAPE_TYPES.index(shape_type)
-        ]
-        if legal:
+        i = _SHAPE_INDEX[shape_type]
+        bits = self._packed(wire_type_name, vertex)
+        if (bits >> i) & 1:
             return True
         if ripup_level < 0:
             return False
-        return needed != RIPUP_FIXED and needed <= ripup_level
+        enc = (bits >> (4 + 3 * i)) & 7
+        return enc != _RIPUP_FIXED_ENC and enc <= ripup_level
 
     def vertex_needs_ripup(
         self, wire_type_name: str, vertex: Vertex, shape_type: str
     ) -> bool:
-        legal, _needed = self.word(wire_type_name, vertex)[
-            SHAPE_TYPES.index(shape_type)
-        ]
-        return not legal
+        i = _SHAPE_INDEX[shape_type]
+        return not (self._packed(wire_type_name, vertex) >> i) & 1
 
     def edge_usable(
         self,
@@ -252,20 +404,29 @@ class FastGrid:
     def _segment_check(
         self, wire_type_name: str, v: Vertex, w: Vertex, kind: str, ripup_level: int
     ) -> bool:
-        if OBS.enabled:
-            OBS.count("fastgrid.shapegrid_fallbacks")
-        wire_type = self.wire_types[wire_type_name]
-        xv, yv, z = self.graph.position(v)
-        xw, yw, _ = self.graph.position(w)
-        stick = StickFigure(z, xv, yv, xw, yw)
-        check = self.checker.check_wire(wire_type, stick, None)
-        if check.legal:
+        memo_key = (wire_type_name, v, w)
+        entry = self._segment_memo.get(memo_key)
+        if entry is not None and entry[0] == self.epoch:
+            if OBS.enabled:
+                OBS.count("fastgrid.segment_cache_hits")
+            legal, needed = entry[1], entry[2]
+        else:
+            if OBS.enabled:
+                OBS.count("fastgrid.shapegrid_fallbacks")
+            wire_type = self.wire_types[wire_type_name]
+            xv, yv, z = self.graph.position(v)
+            xw, yw, _ = self.graph.position(w)
+            stick = StickFigure(z, xv, yv, xw, yw)
+            check = self.checker.check_wire(wire_type, stick, None)
+            legal, needed = check.legal, check.max_ripup_needed
+            if len(self._segment_memo) >= 65536:
+                self._segment_memo.clear()
+            self._segment_memo[memo_key] = (self.epoch, legal, needed)
+        if legal:
             return True
         if ripup_level < 0:
             return False
-        return check.max_ripup_needed != RIPUP_FIXED and (
-            check.max_ripup_needed <= ripup_level
-        )
+        return needed != RIPUP_FIXED and needed <= ripup_level
 
     def _is_dirty(self, vertex: Vertex) -> bool:
         z, t, c = vertex
@@ -273,17 +434,127 @@ class FastGrid:
         return dirty is not None and c in dirty
 
     # ------------------------------------------------------------------
+    # Word-level interval scans
+    # ------------------------------------------------------------------
+    def track_epoch(self, z: int, t: int) -> int:
+        """Generation counter of track (z, t); bumped on invalidation."""
+        return self._track_epochs.get((z, t), 0)
+
+    def scan_track_runs(
+        self,
+        wire_type_name: str,
+        z: int,
+        t: int,
+        ranges: Sequence[Tuple[int, int]],
+        ripup_level: int = -2,
+        forced_cs: Optional[Set[int]] = None,
+    ) -> List[Tuple[int, int, bool]]:
+        """Decompose track (z, t) into wire-usable runs by word scans.
+
+        Returns ``(c_lo, c_hi, needs_ripup)`` triples in cross order:
+        maximal runs of plainly usable vertices, plus singleton runs for
+        vertices only usable by ripping foreign wiring (level <=
+        ``ripup_level``).  ``forced_cs`` vertices count as plainly usable
+        regardless of their words (the source/target override).  The
+        vectorized path scans the packed word arrays with numpy; the
+        fallback walks them scalar — both produce identical runs.
+        """
+        runs: List[Tuple[int, int, bool]] = []
+        for c_lo, c_hi in ranges:
+            if c_lo > c_hi:
+                continue
+            if not self.enabled:
+                state = [
+                    self._state_for_bits(
+                        self._packed(wire_type_name, (z, t, c)), ripup_level
+                    )
+                    for c in range(c_lo, c_hi + 1)
+                ]
+            else:
+                computed = self.ensure_words(wire_type_name, z, t, c_lo, c_hi)
+                reused = (c_hi - c_lo + 1) - computed
+                if reused > 0:
+                    self.hits += reused
+                    if OBS.enabled:
+                        OBS.count("fastgrid.hits", reused)
+                tw = self._tracks[(wire_type_name, z, t)]
+                if self.vectorized:
+                    seg = tw.words[c_lo:c_hi + 1]
+                    legal = (seg & 1).astype(bool)
+                    state = legal.view(_np.int8).copy()
+                    if ripup_level >= 0:
+                        enc = (seg >> 4) & 7
+                        rippable = (
+                            ~legal
+                            & (enc != _RIPUP_FIXED_ENC)
+                            & (enc <= ripup_level)
+                        )
+                        state[rippable] = 2
+                else:
+                    words = tw.words
+                    state = [
+                        self._state_for_bits(words[c], ripup_level)
+                        for c in range(c_lo, c_hi + 1)
+                    ]
+            if forced_cs:
+                for c in forced_cs:
+                    if c_lo <= c <= c_hi:
+                        state[c - c_lo] = 1
+            self._append_state_runs(runs, state, c_lo)
+        return runs
+
+    @staticmethod
+    def _state_for_bits(bits: int, ripup_level: int) -> int:
+        """0 = blocked, 1 = plainly wire-usable, 2 = usable via ripup."""
+        if bits & 1:
+            return 1
+        if ripup_level < 0:
+            return 0
+        enc = (bits >> 4) & 7
+        if enc != _RIPUP_FIXED_ENC and enc <= ripup_level:
+            return 2
+        return 0
+
+    @staticmethod
+    def _append_state_runs(
+        runs: List[Tuple[int, int, bool]], state, c_lo: int
+    ) -> None:
+        n = len(state)
+        if _np is not None and isinstance(state, _np.ndarray):
+            change = _np.flatnonzero(state[1:] != state[:-1]) + 1
+            starts = [0] + [int(i) for i in change]
+        else:
+            starts = [0] + [
+                i for i in range(1, n) if state[i] != state[i - 1]
+            ]
+        starts.append(n)
+        for k in range(len(starts) - 1):
+            s, e = starts[k], starts[k + 1]
+            st = int(state[s])
+            if st == 1:
+                runs.append((c_lo + s, c_lo + e - 1, False))
+            elif st == 2:
+                for c in range(c_lo + s, c_lo + e):
+                    runs.append((c, c, True))
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def invalidate_region(self, layer: int, rect: Rect, off_track: bool = False) -> None:
-        """Drop cached words near ``rect`` on ``layer`` and its neighbours.
+        """Clear cached words near ``rect`` on ``layer`` and its neighbours.
 
         Via legality on adjacent layers depends on shapes here, so the
-        invalidation spans layers ``layer - 1 .. layer + 1``.  With
-        ``off_track`` set, the affected vertices additionally get dirty
-        bits so incident-edge legality is re-derived from the shape grid.
+        invalidation spans layers ``layer - 1 .. layer + 1``.  Validity
+        bits are cleared with one slice store per cached track, the
+        global epoch is bumped once (invalidating the segment memo), and
+        each touched track's epoch is bumped (invalidating interval-cache
+        runs).  With ``off_track`` set, the affected vertices additionally
+        get dirty bits so incident-edge legality is re-derived from the
+        shape grid.
         """
+        self.epoch += 1
         stack = self.graph.stack
+        track_epochs = self._track_epochs
         for z in (layer - 1, layer, layer + 1):
             if not stack.has_layer(z):
                 continue
@@ -300,13 +571,21 @@ class FastGrid:
             if not cross_range:
                 continue
             c_lo, c_hi = cross_range[0], cross_range[-1]
-            for wt_name in self.wire_types:
-                for t in track_range:
-                    track_cache = self._cache.get((wt_name, z, t))
-                    if not track_cache:
-                        continue
-                    for c in range(c_lo, c_hi + 1):
-                        track_cache.pop(c, None)
+            for t in track_range:
+                track_epochs[(z, t)] = track_epochs.get((z, t), 0) + 1
+            if self.vectorized:
+                for wt_name in self.wire_types:
+                    for t in track_range:
+                        tw = self._tracks.get((wt_name, z, t))
+                        if tw is not None:
+                            tw.valid[c_lo:c_hi + 1] = False
+            else:
+                for wt_name in self.wire_types:
+                    for t in track_range:
+                        tw = self._tracks.get((wt_name, z, t))
+                        if tw is not None:
+                            for c in range(c_lo, c_hi + 1):
+                                tw.valid[c] = 0
             if off_track:
                 for t in track_range:
                     dirty = self._dirty.setdefault((z, t), set())
@@ -345,15 +624,31 @@ class FastGrid:
         """Number of maximal runs of identical cached words.
 
         This is the storage unit of the real fast grid (Fig. 4); we keep
-        a plain per-vertex cache for simplicity but report the interval
-        statistic it would compress to.
+        per-vertex word arrays for simplicity but report the interval
+        statistic they would compress to.  Tracks iterate in stored
+        (array) order — no per-call sorting.
         """
         count = 0
-        for track_cache in self._cache.values():
+        if self.vectorized:
+            for tw in self._tracks.values():
+                valid_idx = _np.flatnonzero(tw.valid)
+                if len(valid_idx) == 0:
+                    continue
+                count += 1
+                if len(valid_idx) > 1:
+                    contiguous = valid_idx[1:] == valid_idx[:-1] + 1
+                    same = tw.words[valid_idx[1:]] == tw.words[valid_idx[:-1]]
+                    count += int((~(contiguous & same)).sum())
+            return count
+        for tw in self._tracks.values():
             previous_c: Optional[int] = None
-            previous_word: Optional[Word] = None
-            for c in sorted(track_cache):
-                word = track_cache[c]
+            previous_word: Optional[int] = None
+            valid = tw.valid
+            words = tw.words
+            for c in range(len(valid)):
+                if not valid[c]:
+                    continue
+                word = words[c]
                 if previous_c is None or c != previous_c + 1 or word != previous_word:
                     count += 1
                 previous_c = c

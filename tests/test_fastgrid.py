@@ -51,7 +51,7 @@ class TestWords:
         z, t = 3, 1
         fast.ensure_words("default", z, t, 0, 10)
         for c in range(0, 11):
-            cached = fast._cache[("default", z, t)][c]
+            cached = fast.cached_word("default", z, t, c)
             fresh = fast._compute_word(fast.wire_types["default"], (z, t, c))
             assert cached == fresh, f"batched word differs at c={c}"
 
@@ -130,8 +130,31 @@ class TestStats:
         space.fast_grid.ensure_words("default", 3, 2, 0, 30)
         assert space.fast_grid.interval_count() > 0
         # Far fewer intervals than cached vertices (compression works).
-        cached = sum(len(tc) for tc in space.fast_grid._cache.values())
+        cached = space.fast_grid.cached_word_count()
         assert space.fast_grid.interval_count() < cached
+
+    def test_interval_count_stored_order(self):
+        """interval_count walks cached words in stored (array) order.
+
+        Filling a track out of order must not split runs: the count only
+        reflects real gaps in cached coverage and legality flips, and the
+        vectorized and scalar implementations agree exactly.
+        """
+        spec = ChipSpec("fgcount", rows=2, row_width_cells=4, net_count=4, seed=3)
+        chip = generate_chip(spec)
+        counts = []
+        for vectorized in (True, False):
+            space = RoutingSpace(chip, fast_grid_vectorized=vectorized)
+            fast = space.fast_grid
+            assert fast.interval_count() == 0
+            # Fill [10, 14] before [0, 4]: stored-order iteration sees
+            # [0, 4] then the gap then [10, 14] -> exactly 2 runs on a
+            # uniformly-legal track.
+            fast.ensure_words("default", 3, 1, 10, 14)
+            fast.ensure_words("default", 3, 1, 0, 4)
+            counts.append(fast.interval_count())
+        assert counts[0] == counts[1]
+        assert counts[0] >= 2  # the gap forces separate runs
 
     def test_disabled_grid_always_misses(self):
         spec = ChipSpec("fgoff", rows=2, row_width_cells=4, net_count=4, seed=3)

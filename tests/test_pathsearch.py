@@ -311,6 +311,34 @@ class TestKernelEquivalence:
             assert heap_r.cost == bucket_r.cost, f"{s} -> {t}"
             assert heap_r.vertices == bucket_r.vertices, f"{s} -> {t}"
 
+    def test_equivalence_with_warm_interval_cache(self, space):
+        """heap == bucket with the cross-search interval cache warm.
+
+        The second pass must actually serve runs out of the cache
+        (interval_cache_hits > 0) and still return identical paths.
+        """
+        from repro.obs import OBS
+
+        space.interval_cache.clear()
+        instances = self._instances(space, seed=505, count=10)
+        for s, t in instances:  # warm pass populates the cache
+            self._run_kernels(space, s, t, interval_path_search, self._pi_h)
+        OBS.reset()
+        OBS.configure(enabled=True)
+        try:
+            for s, t in instances:
+                heap_r, bucket_r = self._run_kernels(
+                    space, s, t, interval_path_search, self._pi_h
+                )
+                assert (heap_r is None) == (bucket_r is None), f"{s} -> {t}"
+                if heap_r is None:
+                    continue
+                assert heap_r.cost == bucket_r.cost, f"{s} -> {t}"
+                assert heap_r.vertices == bucket_r.vertices, f"{s} -> {t}"
+            assert OBS.counters.get("fastgrid.interval_cache_hits", 0) > 0
+        finally:
+            OBS.reset()
+
     def test_resolve_kernel(self):
         assert isinstance(resolve_kernel("heap"), HeapKernel)
         assert isinstance(resolve_kernel("bucket"), BucketKernel)

@@ -16,9 +16,12 @@ from hypothesis import strategies as st
 
 from repro.chip.generator import ChipSpec, generate_chip
 from repro.drc.checker import DrcChecker
+from repro.droute.area import RoutingArea
+from repro.droute.intervals import GraphView
 from repro.droute.space import RoutingSpace
 from repro.geometry.rect import Rect
 from repro.grid.blockgrid import BlockageGrid
+from repro.grid.fastgrid import pack_word, unpack_word
 from repro.grid.shapegrid import ShapeGrid
 from repro.droute.route import ViaInstance
 from repro.tech.stacks import example_stack
@@ -287,3 +290,180 @@ class TestFastGridInsertRemoveRoundTrip:
             assert fast.word("default", vertex) == fresh.fast_grid.word(
                 "default", vertex
             ), f"stale word at {vertex} after insert/remove round-trip"
+
+
+def _soup_ops(chip, rng, count=12):
+    """A reproducible random wire soup (some off-track, mixed ripup)."""
+    graph = chip_graph = None
+    space = RoutingSpace(chip)  # only for track geometry
+    graph = space.graph
+    ops = []
+    for i in range(count):
+        z = rng.choice(chip.stack.indices)
+        tracks, crosses = graph.tracks[z], graph.crosses[z]
+        if len(tracks) < 2 or len(crosses) < 5:
+            continue
+        t = rng.randrange(len(tracks))
+        c0 = rng.randrange(len(crosses) - 4)
+        x0, y0, _ = graph.position((z, t, c0))
+        x1, y1, _ = graph.position((z, t, c0 + rng.randrange(1, 4)))
+        off_track = rng.random() < 0.3
+        if off_track:
+            shift = max(1, chip.stack[z].pitch // 3)
+            if x0 == x1:
+                x0, x1 = x0 + shift, x1 + shift
+            else:
+                y0, y1 = y0 + shift, y1 + shift
+        ops.append((f"soup{i}", z, x0, y0, x1, y1, rng.choice((1, 2, 3)),
+                    off_track))
+    return ops
+
+
+def _apply_soup(space, ops):
+    for net, z, x0, y0, x1, y1, level, off_track in ops:
+        space.add_wire(
+            net, "default", StickFigure(z, x0, y0, x1, y1),
+            ripup_level=level, off_track=off_track,
+        )
+
+
+class TestPackedWordsMatchScalar:
+    """The numpy-packed word path must equal the scalar fallback exactly.
+
+    Both grids store the same uint16 encoding; on identical shape soups
+    every word (and its pack/unpack round trip against a fresh
+    ``_compute_word``) must agree bit for bit.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_words_equal_on_random_soup(self, seed):
+        chip = generate_chip(
+            ChipSpec("vecprop", rows=2, row_width_cells=4, net_count=4, seed=4)
+        )
+        rng = random.Random(seed)
+        ops = _soup_ops(chip, rng)
+        vec = RoutingSpace(chip, fast_grid_vectorized=True)
+        scal = RoutingSpace(chip, fast_grid_vectorized=False)
+        assert vec.fast_grid.vectorized or scal.fast_grid.vectorized is False
+        _apply_soup(vec, ops)
+        _apply_soup(scal, ops)
+        graph = vec.graph
+        for _ in range(30):
+            z = rng.choice(chip.stack.indices)
+            t = rng.randrange(len(graph.tracks[z]))
+            c = rng.randrange(len(graph.crosses[z]))
+            vertex = (z, t, c)
+            w_vec = vec.fast_grid.word("default", vertex)
+            w_scal = scal.fast_grid.word("default", vertex)
+            assert w_vec == w_scal, f"packed != scalar at {vertex}"
+            fresh = vec.fast_grid._compute_word(
+                vec.fast_grid.wire_types["default"], vertex
+            )
+            assert w_vec == fresh, f"cached != fresh at {vertex}"
+            assert unpack_word(pack_word(fresh)) == fresh
+
+    def test_batch_fill_equals_single_lookups(self):
+        chip = generate_chip(
+            ChipSpec("vecbatch", rows=2, row_width_cells=4, net_count=4, seed=4)
+        )
+        ops = _soup_ops(chip, random.Random(7))
+        batch = RoutingSpace(chip, fast_grid_vectorized=True)
+        single = RoutingSpace(chip, fast_grid_vectorized=True)
+        _apply_soup(batch, ops)
+        _apply_soup(single, ops)
+        z, t = 3, 1
+        hi = len(batch.graph.crosses[z]) - 1
+        batch.fast_grid.ensure_words("default", z, t, 0, hi)
+        for c in range(hi + 1):
+            assert batch.fast_grid.cached_word("default", z, t, c) == (
+                single.fast_grid.word("default", (z, t, c))
+            )
+
+
+def _reference_runs(fast, type_name, z, t, ranges, ripup_level, forced):
+    """The pre-vectorization per-vertex decomposition, as an oracle."""
+    runs = []
+    for c_lo, c_hi in ranges:
+        run_start = None
+        for c in range(c_lo, c_hi + 1):
+            vertex = (z, t, c)
+            if vertex in forced:
+                usable, needs_ripup = True, False
+            elif fast.vertex_usable(type_name, vertex, "wire"):
+                usable, needs_ripup = True, False
+            elif ripup_level >= 0 and fast.vertex_usable(
+                type_name, vertex, "wire", ripup_level
+            ):
+                usable, needs_ripup = True, True
+            else:
+                usable, needs_ripup = False, False
+            if usable and not needs_ripup:
+                if run_start is None:
+                    run_start = c
+                continue
+            if run_start is not None:
+                runs.append((run_start, c - 1, False))
+                run_start = None
+            if usable and needs_ripup:
+                runs.append((c, c, True))
+        if run_start is not None:
+            runs.append((run_start, c_hi, False))
+    return runs
+
+
+class TestScannedIntervalsMatchPerVertex:
+    """Word-level interval scans must equal the per-vertex decomposition.
+
+    ``scan_track_runs`` (numpy diff over packed words, or its scalar
+    twin) and the GraphView materialization on top of it must reproduce
+    the old per-vertex loop exactly — same run boundaries, same ripup
+    singletons — on random soups, with and without forced vertices.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_runs_match_reference(self, seed):
+        chip = generate_chip(
+            ChipSpec("scanprop", rows=2, row_width_cells=4, net_count=4, seed=4)
+        )
+        rng = random.Random(seed)
+        ops = _soup_ops(chip, rng)
+        for vectorized in (True, False):
+            space = RoutingSpace(chip, fast_grid_vectorized=vectorized)
+            _apply_soup(space, ops)
+            fast = space.fast_grid
+            graph = space.graph
+            area = RoutingArea.everywhere()
+            for _ in range(10):
+                z = rng.choice(chip.stack.indices)
+                t = rng.randrange(len(graph.tracks[z]))
+                ripup = rng.choice((-2, 1, 3))
+                forced = set()
+                if rng.random() < 0.5:
+                    forced.add((z, t, rng.randrange(len(graph.crosses[z]))))
+                ranges = tuple(area.cross_ranges(graph, z, t))
+                expected = _reference_runs(
+                    fast, "default", z, t, ranges, ripup, forced
+                )
+                got = fast.scan_track_runs(
+                    "default", z, t, ranges, ripup,
+                    {v[2] for v in forced} or None,
+                )
+                assert got == expected, (
+                    f"scan != per-vertex at z={z} t={t} ripup={ripup} "
+                    f"forced={forced} (vectorized={vectorized})"
+                )
+                # The view's materialized intervals agree too (and the
+                # cross-search cache returns the same runs on a rebuild).
+                for _round in range(2):
+                    view = GraphView(
+                        space, "default", area, ripup_level=ripup,
+                        forced_vertices=forced,
+                    )
+                    made = [
+                        (iv.c_lo, iv.c_hi, iv.needs_ripup)
+                        for _c, idx in view.track_intervals(z, t)
+                        for iv in [view.interval(idx)]
+                    ]
+                    assert made == expected
