@@ -3,9 +3,14 @@
 Commands:
 
 * ``generate`` — write a synthetic chip to a text file;
+* ``chipgen`` — stream a large sharded instance (per-region shard
+  files plus ``manifest.json``) to a directory without materializing
+  the whole chip in memory;
 * ``route`` — run the BonnRoute flow (or the ISR baseline) on a chip
   file and write the routes; ``--eco CHANGES.json`` follows up with an
-  incremental ECO reroute of only the edited/conflicting nets;
+  incremental ECO reroute of only the edited/conflicting nets; with
+  ``--shard-region I`` the chip argument is a shard manifest (or its
+  directory) and only region ``I`` plus a halo is routed;
 * ``drc`` — check a routed chip and print the violation summary;
 * ``render`` / ``viz`` — ASCII-render one layer of a routed chip
   (``viz`` additionally takes a ``--window`` clip rectangle).
@@ -43,6 +48,38 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chipgen(args: argparse.Namespace) -> int:
+    from repro.chip.generator import ShardPlan, chip_spec, stream_chip_shards
+
+    if args.spec:
+        try:
+            spec = chip_spec(args.spec)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            spec = ChipSpec(
+                args.name, rows=args.rows, row_width_cells=args.cells,
+                net_count=args.nets, seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    plan = ShardPlan(
+        spec,
+        rows_per_region=args.rows_per_region,
+        cols_per_region=args.cols_per_region,
+    )
+    manifest = stream_chip_shards(spec, args.output_dir, plan)
+    print(
+        f"streamed {spec.net_count} nets into {plan.num_regions} shards "
+        f"({plan.region_rows}x{plan.region_cols} regions)"
+    )
+    print(f"manifest written to {manifest}")
+    return 0
+
+
 def _write_flight_dump(path: str) -> None:
     """Write the observer's flight-recorder ring to ``path`` as JSON."""
     import json
@@ -60,7 +97,18 @@ def _write_flight_dump(path: str) -> None:
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.obs import OBS, JsonlTraceSink
 
-    chip = read_chip_file(args.chip)
+    shard_store = None
+    if args.shard_region is not None:
+        from repro.io.shards import ShardFormatError, ShardStore
+
+        try:
+            shard_store = ShardStore(args.chip)
+            chip = shard_store.chip_for_region(args.shard_region)
+        except (OSError, IndexError, ShardFormatError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        chip = read_chip_file(args.chip)
     if args.trace_out or args.obs or args.report_out:
         sink = None
         if args.trace_out:
@@ -97,6 +145,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 region_timeout_s=args.region_timeout,
                 search_kernel=args.search_kernel,
                 preroute_local_nets=not args.no_preroute,
+                shard_store=shard_store,
             ).run()
         except CheckpointError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -261,6 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=1)
     generate.set_defaults(func=_cmd_generate)
 
+    chipgen = sub.add_parser(
+        "chipgen",
+        help="stream a sharded chip instance (shards + manifest) to a "
+        "directory",
+    )
+    chipgen.add_argument("output_dir")
+    chipgen.add_argument(
+        "--spec", default=None, metavar="NAME",
+        help="use a named chip spec (see repro.chip.generator."
+        "TABLE_CHIP_SPECS) instead of --rows/--cells/--nets",
+    )
+    chipgen.add_argument("--name", default="chip")
+    chipgen.add_argument("--rows", type=int, default=8)
+    chipgen.add_argument("--cells", type=int, default=32)
+    chipgen.add_argument("--nets", type=int, default=128)
+    chipgen.add_argument("--seed", type=int, default=1)
+    chipgen.add_argument(
+        "--rows-per-region", type=int, default=4, metavar="R",
+        help="cell rows per shard region",
+    )
+    chipgen.add_argument(
+        "--cols-per-region", type=int, default=16, metavar="C",
+        help="cell columns (slots) per shard region",
+    )
+    chipgen.set_defaults(func=_cmd_chipgen)
+
     route = sub.add_parser("route", help="route a chip file")
     route.add_argument("chip")
     route.add_argument("output")
@@ -322,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the local-net preroute stage and send every net "
         "through main detailed routing (keeps partition rounds "
         "multi-region so --workers actually forks on small chips)",
+    )
+    route.add_argument(
+        "--shard-region", type=int, default=None, metavar="I",
+        help="treat CHIP as a shard manifest (or its directory, see "
+        "'chipgen') and route only region I plus a halo; shards are "
+        "loaded lazily through a bounded-residency store",
     )
     route.add_argument(
         "--obs", action="store_true",

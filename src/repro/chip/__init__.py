@@ -10,7 +10,17 @@ seeded synthetic instances with the same structural features.
 from repro.chip.net import Net, Pin
 from repro.chip.cells import CellTemplate, CircuitInstance, Orientation, example_cell_library
 from repro.chip.design import Blockage, Chip
-from repro.chip.generator import ChipSpec, generate_chip, TABLE_CHIP_SPECS
+from repro.chip.generator import (
+    ChipSpec,
+    ShardPlan,
+    TABLE_CHIP_SPECS,
+    chip_spec,
+    generate_chip,
+    generate_chip_sharded,
+    iter_regions,
+    scale_spec,
+    stream_chip_shards,
+)
 
 __all__ = [
     "Net",
@@ -22,6 +32,12 @@ __all__ = [
     "Blockage",
     "Chip",
     "ChipSpec",
+    "ShardPlan",
+    "chip_spec",
     "generate_chip",
+    "generate_chip_sharded",
+    "iter_regions",
+    "scale_spec",
+    "stream_chip_shards",
     "TABLE_CHIP_SPECS",
 ]

@@ -110,6 +110,13 @@ class CircuitInstance:
         return (self.template.name, self.orientation)
 
 
+#: Interned library templates keyed on the full parameter tuple.  A
+#: 10^5-net chip references millions of pin/obstruction rectangles but
+#: only these few prototypes; sharing the template objects keeps every
+#: generated region (and every shard reload) pointing at one copy.
+_LIBRARY_CACHE: Dict[Tuple[int, int, int, int], Tuple[CellTemplate, ...]] = {}
+
+
 def example_cell_library(
     pin_layer: int = 1,
     pin_size: int = 40,
@@ -120,8 +127,14 @@ def example_cell_library(
 
     Pins are small squares placed off the track grid (the motivation for
     off-track pin access, Sec. 4.3) and partially shadowed by internal
-    obstructions, as in Fig. 7.
+    obstructions, as in Fig. 7.  Templates are interned per parameter
+    tuple: repeated calls return the same (immutable by convention)
+    ``CellTemplate`` objects in a fresh list.
     """
+    key = (pin_layer, pin_size, row_height, pitch)
+    cached = _LIBRARY_CACHE.get(key)
+    if cached is not None:
+        return list(cached)
     half = pin_size // 2
 
     def square(x: int, y: int) -> List[Tuple[int, Rect]]:
@@ -188,4 +201,5 @@ def example_cell_library(
             },
         )
     )
+    _LIBRARY_CACHE[key] = tuple(library)
     return library

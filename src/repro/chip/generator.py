@@ -14,7 +14,8 @@ eight ``TABLE_CHIP_SPECS`` mirror the relative sizes of the paper's chips.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.chip.cells import (
     CellTemplate,
@@ -37,6 +38,15 @@ from repro.util.rng import make_rng
 #: Standard-cell row height used by the example library, in dbu.
 ROW_HEIGHT = 960
 
+#: Placement slot pitch of the sharded generator, in dbu.  Every slot is
+#: wide enough for the widest library cell (DFF, 800 dbu), so a cell's
+#: position depends only on its slot — no left-to-right running sum —
+#: which is what makes regions generatable independently.
+SLOT_PITCH = 960
+
+#: Die margin around the cell rows, in dbu (both generators).
+DIE_MARGIN = 4 * THIN_PITCH
+
 
 class ChipSpec:
     """Parameters of a synthetic chip."""
@@ -54,6 +64,16 @@ class ChipSpec:
         big_fanout_nets: int = 2,
         big_fanout_max: int = 20,
     ) -> None:
+        if rows < 1:
+            raise ValueError(f"ChipSpec rows must be >= 1, got {rows}")
+        if row_width_cells < 1:
+            raise ValueError(
+                f"ChipSpec row_width_cells must be >= 1, got {row_width_cells}"
+            )
+        if net_count < 1:
+            raise ValueError(f"ChipSpec net_count must be >= 1, got {net_count}")
+        if num_layers < 2:
+            raise ValueError(f"ChipSpec num_layers must be >= 2, got {num_layers}")
         self.name = name
         self.rows = rows
         self.row_width_cells = row_width_cells
@@ -68,6 +88,25 @@ class ChipSpec:
     def __repr__(self) -> str:
         return f"ChipSpec({self.name}, {self.rows}x{self.row_width_cells} cells, {self.net_count} nets)"
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (round-trips through a shard manifest)."""
+        return {
+            "name": self.name,
+            "rows": self.rows,
+            "row_width_cells": self.row_width_cells,
+            "net_count": self.net_count,
+            "seed": self.seed,
+            "num_layers": self.num_layers,
+            "tech": self.tech,
+            "wide_net_fraction": self.wide_net_fraction,
+            "big_fanout_nets": self.big_fanout_nets,
+            "big_fanout_max": self.big_fanout_max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChipSpec":
+        return cls(**data)
+
 
 #: Eight specs mirroring the relative sizes of Table I's chips 1-8
 #: (chips 5 and 8 are the paper's 32 nm designs and the largest ones).
@@ -81,6 +120,19 @@ TABLE_CHIP_SPECS: List[ChipSpec] = [
     ChipSpec("chip7", rows=9, row_width_cells=19, net_count=100, seed=107),
     ChipSpec("chip8", rows=12, row_width_cells=22, net_count=160, seed=108, tech="32nm"),
 ]
+
+
+def chip_spec(name: str) -> ChipSpec:
+    """Look up a Table I spec by name, with an actionable error.
+
+    Matches the PR 1 tech/rules KeyError convention: the error names the
+    valid alternatives instead of echoing the bad key alone.
+    """
+    for spec in TABLE_CHIP_SPECS:
+        if spec.name == name:
+            return spec
+    valid = ", ".join(spec.name for spec in TABLE_CHIP_SPECS)
+    raise KeyError(f"unknown chip spec {name!r}; valid specs: {valid}")
 
 
 def _place_rows(
@@ -242,3 +294,319 @@ def generate_chip(spec: ChipSpec) -> Chip:
         nets=nets,
         blockages=blockages,
     )
+
+
+# ----------------------------------------------------------------------
+# Region-sharded generation (memory-bounded, 1e5-1e6 net instances)
+# ----------------------------------------------------------------------
+class ShardPlan:
+    """Region grid of a sharded instance.
+
+    The sharded generator places cells on a fixed slot grid (one slot
+    per :data:`SLOT_PITCH` column, one row per :data:`ROW_HEIGHT`), so
+    the die dimensions, the power grid and each cell's position are
+    functions of the spec alone.  Regions are rectangular blocks of
+    slots; each region's cells and nets are generated from a seed
+    derived from ``(spec.seed, region_index)``, independent of every
+    other region — which is what lets 10^5-net instances stream to disk
+    one region at a time.
+    """
+
+    def __init__(
+        self,
+        spec: ChipSpec,
+        rows_per_region: int = 4,
+        cols_per_region: int = 16,
+    ) -> None:
+        if rows_per_region < 1:
+            raise ValueError(
+                f"ShardPlan rows_per_region must be >= 1, got {rows_per_region}"
+            )
+        if cols_per_region < 1:
+            raise ValueError(
+                f"ShardPlan cols_per_region must be >= 1, got {cols_per_region}"
+            )
+        self.spec = spec
+        self.rows_per_region = rows_per_region
+        self.cols_per_region = cols_per_region
+        self.region_rows = math.ceil(spec.rows / rows_per_region)
+        self.region_cols = math.ceil(spec.row_width_cells / cols_per_region)
+        self.num_regions = self.region_rows * self.region_cols
+        self.width = 2 * DIE_MARGIN + spec.row_width_cells * SLOT_PITCH
+        self.height = 2 * DIE_MARGIN + spec.rows * ROW_HEIGHT
+        # Net quota per region: spread the total evenly, remainder to
+        # the lowest-indexed regions.
+        base, extra = divmod(spec.net_count, self.num_regions)
+        self._quota = [
+            base + (1 if index < extra else 0) for index in range(self.num_regions)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan({self.spec.name}, {self.region_rows}x{self.region_cols} "
+            f"regions, {self.num_regions} shards)"
+        )
+
+    def die(self) -> Rect:
+        return Rect(0, 0, self.width, self.height)
+
+    def region_slots(self, index: int) -> Tuple[int, int, int, int]:
+        """Closed slot bounds (row_lo, row_hi, col_lo, col_hi) of a region."""
+        if not 0 <= index < self.num_regions:
+            raise IndexError(
+                f"region {index} out of range; plan has {self.num_regions} regions"
+            )
+        r, c = divmod(index, self.region_cols)
+        row_lo = r * self.rows_per_region
+        row_hi = min(row_lo + self.rows_per_region, self.spec.rows) - 1
+        col_lo = c * self.cols_per_region
+        col_hi = min(col_lo + self.cols_per_region, self.spec.row_width_cells) - 1
+        return row_lo, row_hi, col_lo, col_hi
+
+    def region_box(self, index: int) -> Rect:
+        """Die rectangle covered by a region's slots (dbu)."""
+        row_lo, row_hi, col_lo, col_hi = self.region_slots(index)
+        return Rect(
+            DIE_MARGIN + col_lo * SLOT_PITCH,
+            DIE_MARGIN + row_lo * ROW_HEIGHT,
+            DIE_MARGIN + (col_hi + 1) * SLOT_PITCH,
+            DIE_MARGIN + (row_hi + 1) * ROW_HEIGHT,
+        )
+
+    def region_net_quota(self, index: int) -> int:
+        return self._quota[index]
+
+    def region_seed(self, index: int) -> int:
+        """Deterministic per-region seed mixed from the spec seed."""
+        return (self.spec.seed * 0x9E3779B1 + index * 0x85EBCA77 + 1) & 0x7FFFFFFF
+
+    def power_blockages(self) -> List[Blockage]:
+        """The global power grid (independent of any region's contents)."""
+        return _power_grid(self.width, self.height, self.spec.rows)
+
+
+class ShardRegion:
+    """One generated region: its nets plus its fixed blockages.
+
+    ``blockages`` holds the cells' internal obstructions as labelled
+    chip-level blockages (``circuit:<id>``) — the same convention the
+    text interchange format uses, so shard-loaded and in-memory chips
+    agree shape for shape.  The power grid is *not* included (it is
+    global; :meth:`ShardPlan.power_blockages` owns it).
+    """
+
+    __slots__ = ("index", "box", "nets", "blockages", "cells")
+
+    def __init__(
+        self,
+        index: int,
+        box: Rect,
+        nets: List[Net],
+        blockages: List[Blockage],
+        cells: int,
+    ) -> None:
+        self.index = index
+        self.box = box
+        self.nets = nets
+        self.blockages = blockages
+        self.cells = cells
+
+    def __repr__(self) -> str:
+        return f"ShardRegion({self.index}, {len(self.nets)} nets, {self.cells} cells)"
+
+
+#: Fraction of slots occupied by a cell in the sharded generator.
+SLOT_OCCUPANCY = 0.92
+
+
+def generate_region(
+    spec: ChipSpec,
+    plan: ShardPlan,
+    index: int,
+    library: Optional[Sequence[CellTemplate]] = None,
+) -> ShardRegion:
+    """Generate one region deterministically from ``(spec.seed, index)``."""
+    if library is None:
+        library = example_cell_library()
+    rng = make_rng(plan.region_seed(index))
+    row_lo, row_hi, col_lo, col_hi = plan.region_slots(index)
+    instances: List[CircuitInstance] = []
+    for row in range(row_lo, row_hi + 1):
+        for col in range(col_lo, col_hi + 1):
+            if rng.random() >= SLOT_OCCUPANCY:
+                continue
+            template = library[rng.randrange(len(library))]
+            orientation = Orientation.N if rng.random() < 0.5 else Orientation.FN
+            x = DIE_MARGIN + col * SLOT_PITCH
+            y = DIE_MARGIN + row * ROW_HEIGHT
+            instance_id = row * spec.row_width_cells + col
+            instances.append(
+                CircuitInstance(instance_id, template, x, y, orientation)
+            )
+
+    blockages: List[Blockage] = []
+    for inst in instances:
+        for layer, rect in inst.obstruction_shapes():
+            blockages.append(Blockage(layer, rect, f"circuit:{inst.instance_id}"))
+
+    all_pins, by_id = _free_pins(instances)
+    outputs = [p for p in all_pins if p[2]]
+    inputs = [p for p in all_pins if not p[2]]
+    rng.shuffle(outputs)
+    rng.shuffle(inputs)
+    used: set = set()
+
+    def make_pin(instance_id: int, pin_name: str) -> Pin:
+        inst = by_id[instance_id]
+        return Pin(
+            f"{instance_id}/{pin_name}",
+            inst.pin_shapes(pin_name),
+            circuit_id=instance_id,
+        )
+
+    def nearest_free_inputs(x: int, y: int, k: int) -> List[Tuple[int, str, bool]]:
+        candidates = [p for p in inputs if (p[0], p[1]) not in used]
+        if not candidates:
+            return []
+        locality = 6 * ROW_HEIGHT
+
+        def distance_key(p: Tuple[int, str, bool]) -> Tuple[float, int]:
+            inst = by_id[p[0]]
+            cx, cy = inst.bounding_box().center
+            dist = abs(cx - x) + abs(cy - y)
+            return (dist + rng.randrange(0, locality), p[0])
+
+        candidates.sort(key=distance_key)
+        return candidates[:k]
+
+    quota = plan.region_net_quota(index)
+    nets: List[Net] = []
+    output_index = 0
+    while len(nets) < quota and output_index < len(outputs):
+        driver = outputs[output_index]
+        output_index += 1
+        if (driver[0], driver[1]) in used:
+            continue
+        # The big-fanout nets (Table II's tail) live in region 0.
+        big = index == 0 and len(nets) < spec.big_fanout_nets
+        sinks_wanted = _terminal_count(rng, big, spec.big_fanout_max) - 1
+        free_inputs = sum(1 for p in inputs if (p[0], p[1]) not in used)
+        nets_remaining = quota - len(nets) - 1
+        sinks_wanted = max(1, min(sinks_wanted, free_inputs - nets_remaining))
+        inst = by_id[driver[0]]
+        cx, cy = inst.bounding_box().center
+        sinks = nearest_free_inputs(cx, cy, sinks_wanted)
+        if not sinks:
+            continue
+        used.add((driver[0], driver[1]))
+        for sink in sinks:
+            used.add((sink[0], sink[1]))
+        pins = [make_pin(driver[0], driver[1])] + [make_pin(s[0], s[1]) for s in sinks]
+        wire_type = "default"
+        weight = 1.0
+        if rng.random() < spec.wide_net_fraction and len(pins) == 2:
+            wire_type = "wide"
+            weight = 2.0
+        nets.append(
+            Net(f"n{index}_{len(nets)}", pins, wire_type=wire_type, weight=weight)
+        )
+
+    return ShardRegion(
+        index, plan.region_box(index), nets, blockages, len(instances)
+    )
+
+
+def iter_regions(
+    spec: ChipSpec, plan: Optional[ShardPlan] = None
+) -> Iterator[ShardRegion]:
+    """All regions of a sharded instance, one at a time (streaming)."""
+    if plan is None:
+        plan = ShardPlan(spec)
+    library = example_cell_library()
+    for index in range(plan.num_regions):
+        yield generate_region(spec, plan, index, library)
+
+
+def generate_chip_sharded(
+    spec: ChipSpec, plan: Optional[ShardPlan] = None
+) -> Chip:
+    """The in-memory reference of the sharded generator.
+
+    Assembles every region into one :class:`Chip` (circuits empty, cell
+    obstructions as labelled blockages — the text-format convention).
+    Bit-identical to streaming the same plan to disk and loading all
+    shards back; the property test in ``tests/test_shards.py`` holds the
+    two paths together.
+    """
+    if plan is None:
+        plan = ShardPlan(spec)
+    blockages = plan.power_blockages()
+    nets: List[Net] = []
+    for region in iter_regions(spec, plan):
+        nets.extend(region.nets)
+        blockages.extend(region.blockages)
+    stack = example_stack(spec.num_layers)
+    return Chip(
+        name=spec.name,
+        die=plan.die(),
+        stack=stack,
+        rules=example_rules(spec.num_layers),
+        wire_types=example_wiretypes(stack),
+        circuits=[],
+        nets=nets,
+        blockages=blockages,
+    )
+
+
+def stream_chip_shards(
+    spec: ChipSpec,
+    out_dir: str,
+    plan: Optional[ShardPlan] = None,
+) -> str:
+    """Stream a sharded instance to ``out_dir``; returns the manifest path.
+
+    Writes one text shard per region plus ``manifest.json`` (die, layer
+    count, spec, global power blockages, shard index).  Peak memory is
+    one region, not the chip: each region is generated, serialized and
+    dropped before the next one starts.
+    """
+    from repro.io.shards import ShardWriter
+
+    if plan is None:
+        plan = ShardPlan(spec)
+    writer = ShardWriter(out_dir, spec, plan)
+    for region in iter_regions(spec, plan):
+        writer.write_region(region)
+    return writer.finish()
+
+
+def scale_spec(
+    net_count: int,
+    seed: int = 7,
+    name: Optional[str] = None,
+    rows_per_region: int = 2,
+    cols_per_region: int = 8,
+    nets_per_region: int = 8,
+) -> Tuple[ChipSpec, ShardPlan]:
+    """A spec + plan sized for ``net_count`` nets in small routable shards.
+
+    Used by the scale benchmark and the CI smoke: regions are kept small
+    (~``nets_per_region`` nets over ``rows_per_region x cols_per_region``
+    slots) so one region routes in seconds with a bounded die.
+    """
+    if net_count < 1:
+        raise ValueError(f"scale_spec net_count must be >= 1, got {net_count}")
+    regions = math.ceil(net_count / nets_per_region)
+    region_cols = max(1, math.ceil(math.sqrt(regions)))
+    region_rows = math.ceil(regions / region_cols)
+    spec = ChipSpec(
+        name or f"scale{net_count}",
+        rows=region_rows * rows_per_region,
+        row_width_cells=region_cols * cols_per_region,
+        net_count=net_count,
+        seed=seed,
+    )
+    plan = ShardPlan(
+        spec, rows_per_region=rows_per_region, cols_per_region=cols_per_region
+    )
+    return spec, plan

@@ -17,6 +17,8 @@ neighbourhood's foreign geometry (Sec. 4.3).
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.chip.net import Pin
@@ -105,12 +107,18 @@ class PinAccessPlanner:
         max_endpoints: int = 10,
         max_paths: int = 6,
         fault_injector=None,
+        memo_capacity: Optional[int] = None,
     ) -> None:
         self.space = space
         self.wire_type_name = wire_type_name
         self.radius_pitches = radius_pitches
         self.max_endpoints = max_endpoints
         self.max_paths = max_paths
+        #: Catalogue-memo entry budget (LRU beyond it); defaults to the
+        #: ``REPRO_PINACCESS_MEMO_CAP`` environment variable or 4096.
+        if memo_capacity is None:
+            memo_capacity = int(os.environ.get("REPRO_PINACCESS_MEMO_CAP", "4096"))
+        self.memo_capacity = max(1, memo_capacity)
         #: Optional :class:`repro.flow.faults.FaultInjector` probed at the
         #: "pin_access" site (deterministic fault-injection harness).
         self.fault_injector = fault_injector
@@ -121,8 +129,11 @@ class PinAccessPlanner:
         #: radius, all shape-grid geometry any of its checks can read).
         #: Identical inputs make the blockage-grid Dijkstras and via
         #: checks deterministic, so replaying the cached result is
-        #: bit-identical to rebuilding — it only skips the work.
-        self._catalogue_memo: Dict[Tuple, List[AccessPath]] = {}
+        #: bit-identical to rebuilding — it only skips the work.  The
+        #: store is an LRU bounded at :attr:`memo_capacity` entries
+        #: (``pinaccess.evictions`` counts the drops); eviction can only
+        #: cost a rebuild, never change its result.
+        self._catalogue_memo: "OrderedDict[Tuple, List[AccessPath]]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -247,6 +258,7 @@ class PinAccessPlanner:
         )
         cached = self._catalogue_memo.get(memo_key)
         if cached is not None:
+            self._catalogue_memo.move_to_end(memo_key)
             if OBS.enabled:
                 OBS.count("pinaccess.catalogue_memo_hits")
             return [self._copy_path(p) for p in cached]
@@ -284,8 +296,10 @@ class PinAccessPlanner:
             if len(paths) >= self.max_paths:
                 break
         paths.sort(key=lambda p: p.length)
-        if len(self._catalogue_memo) >= 4096:
-            self._catalogue_memo.clear()
+        while len(self._catalogue_memo) >= self.memo_capacity:
+            self._catalogue_memo.popitem(last=False)
+            if OBS.enabled:
+                OBS.count("pinaccess.evictions")
         self._catalogue_memo[memo_key] = [self._copy_path(p) for p in paths]
         return paths
 

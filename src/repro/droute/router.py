@@ -616,6 +616,7 @@ class DetailedRouter:
             for region, net in ordered:
                 by_region.setdefault(region, []).append(net)
             budget_left = stage_deadline is None or not stage_deadline.expired
+            self._prefetch_shards(sequence[round_index], by_region)
             if ordered and len(by_region) > 1 and budget_left and not supervisor.degraded:
                 round_start = time.time()
                 with OBS.trace(
@@ -646,6 +647,23 @@ class DetailedRouter:
         # Global drain: retries, escalations and re-queued ripped nets,
         # in the exact order the single-queue serial run appends them.
         self._route_queue(deferred, result, state, stage_deadline)
+
+    def _prefetch_shards(self, partition_round, by_region: Dict[int, List[Net]]) -> None:
+        """Warm the session's shard store for this round's active regions.
+
+        A bounded-residency :class:`repro.io.shards.ShardStore` evicts
+        least-recently-used shards; touching each active region's shards
+        up front keeps the round's geometry sources resident while it
+        runs.  Purely a cache hint — routing reads only the already
+        constructed in-memory space, so this never affects results.
+        """
+        session = self.session
+        store = getattr(session, "shard_store", None) if session is not None else None
+        if store is None or not by_region:
+            return
+        for region_index in sorted(by_region):
+            if 0 <= region_index < len(partition_round.regions):
+                store.prefetch(partition_round.regions[region_index])
 
     def _merge_outcomes(
         self,

@@ -160,8 +160,14 @@ class RoutingSession:
         workers: int = 1,
         region_timeout_s: Optional[float] = None,
         search_kernel=None,
+        shard_store=None,
     ) -> None:
         self.chip = chip
+        #: Optional :class:`repro.io.shards.ShardStore` backing this
+        #: chip.  When set, the detailed router prefetches the shards
+        #: overlapping each partition region before routing it, so a
+        #: bounded-residency store has the right shards warm.
+        self.shard_store = shard_store
         self.plan = track_plan if track_plan is not None else build_track_plan(chip)
         self.space = RoutingSpace(chip, track_plan=self.plan)
         self.gr_phases = gr_phases

@@ -91,8 +91,13 @@ class BonnRouteFlow:
         workers: int = 1,
         region_timeout_s: Optional[float] = None,
         search_kernel=None,
+        shard_store=None,
     ) -> None:
         self.chip = chip
+        #: Optional shard store backing ``chip`` (see repro.io.shards);
+        #: forwarded to the session so partition rounds can prefetch the
+        #: shards each region needs.
+        self.shard_store = shard_store
         #: The engine session this flow writes into.  Created lazily in
         #: :meth:`_run_impl` when none is given; pass one to route into
         #: existing session state (e.g. from
@@ -408,6 +413,7 @@ class BonnRouteFlow:
                 workers=self.workers,
                 region_timeout_s=self.region_timeout_s,
                 search_kernel=self.search_kernel,
+                shard_store=self.shard_store,
             )
         session = self.session
         result.session = session

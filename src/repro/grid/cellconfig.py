@@ -46,6 +46,22 @@ Config = FrozenSet[Tuple[CellShape, int]]
 EMPTY_CONFIG_ID = 0
 
 
+def _shape_sort_key(shape: CellShape) -> Tuple:
+    """Total order over cell shapes (``net`` may be ``None``)."""
+    return (
+        shape.x_lo,
+        shape.y_lo,
+        shape.x_hi,
+        shape.y_hi,
+        shape.net is not None,
+        shape.net or "",
+        shape.class_name,
+        shape.shape_kind,
+        shape.ripup_level,
+        shape.rule_width,
+    )
+
+
 def _normalize(config: Iterable) -> Config:
     """Accept bare CellShapes or (shape, count) pairs; merge duplicates."""
     counts: Dict[CellShape, int] = {}
@@ -66,6 +82,7 @@ class ConfigTable:
     def __init__(self) -> None:
         self._by_config: Dict[Config, int] = {frozenset(): EMPTY_CONFIG_ID}
         self._by_id: List[Config] = [frozenset()]
+        self._shapes_by_id: List[Tuple[CellShape, ...]] = [()]
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -78,6 +95,14 @@ class ConfigTable:
             config_id = len(self._by_id)
             self._by_config[normalized] = config_id
             self._by_id.append(normalized)
+            self._shapes_by_id.append(
+                tuple(
+                    sorted(
+                        (shape for shape, _count in normalized),
+                        key=_shape_sort_key,
+                    )
+                )
+            )
         return config_id
 
     def lookup(self, config_id: int) -> Config:
@@ -85,9 +110,14 @@ class ConfigTable:
         return self._by_id[config_id]
 
     def shapes(self, config_id: int) -> Iterator[CellShape]:
-        """The distinct shapes of ``config_id`` (counts ignored)."""
-        for shape, _count in self._by_id[config_id]:
-            yield shape
+        """The distinct shapes of ``config_id`` (counts ignored).
+
+        Yields in a canonical sorted order so iteration never depends on
+        the order shapes were interned — lazily materialized grids build
+        configurations in a different sequence than an eager build, and
+        downstream consumers must see identical streams either way.
+        """
+        return iter(self._shapes_by_id[config_id])
 
     def count(self, config_id: int, shape: CellShape) -> int:
         """Reference count of ``shape`` in ``config_id`` (0 if absent)."""

@@ -86,7 +86,15 @@ class _LayerGrid:
         "pref_is_x",
         "table",
         "rows",
+        "fixed_rows",
+        "fixed_spanning",
+        "materialized",
     )
+
+    #: Fixed shapes covering more rows than this go to the spanning pool
+    #: (checked per materialized row) instead of being bucketed into
+    #: every row they touch.
+    SPAN_LIMIT = 8
 
     def __init__(
         self, cell_size: int, origin: Tuple[int, int], pref_is_x: bool
@@ -98,6 +106,14 @@ class _LayerGrid:
         # rows: row index (non-preferred axis) -> AVL keyed by interval
         # start column; value = [end_column, config_id].
         self.rows: Dict[int, AVLTree] = {}
+        # Lazy fixed-geometry pools: shapes registered via add_fixed are
+        # folded into a row's intervals the first time anything touches
+        # that row.  fixed_rows buckets short shapes by row index;
+        # fixed_spanning holds (row_lo, row_hi, rect, meta) for shapes
+        # crossing many rows (power straps).
+        self.fixed_rows: Dict[int, List[Tuple[Rect, Tuple]]] = {}
+        self.fixed_spanning: List[Tuple[int, int, Rect, Tuple]] = []
+        self.materialized: set = set()
 
     # -- cell coordinate helpers ------------------------------------
     def _to_cell(self, x: int, y: int) -> Tuple[int, int]:
@@ -193,6 +209,73 @@ class _LayerGrid:
         if not row:
             del self.rows[row_index]
 
+    # -- lazy fixed geometry ------------------------------------------
+    def add_fixed(self, rect: Rect, meta: Tuple) -> None:
+        """Register a fixed shape without building its rows yet.
+
+        The shape becomes visible (and is folded into the interval
+        trees) when :meth:`_ensure_rows` first materializes a row it
+        covers; rows already materialized receive it immediately, so
+        registration order never changes what queries see.
+        """
+        row_lo, row_hi, _col_lo, _col_hi = self._covered_cells(rect)
+        if row_hi - row_lo + 1 > self.SPAN_LIMIT:
+            self.fixed_spanning.append((row_lo, row_hi, rect, meta))
+        else:
+            for row_index in range(row_lo, row_hi + 1):
+                if row_index in self.materialized:
+                    continue
+                self.fixed_rows.setdefault(row_index, []).append((rect, meta))
+        for row_index in range(row_lo, row_hi + 1):
+            if row_index in self.materialized:
+                self._apply_to_row(row_index, rect, meta)
+
+    def _apply_to_row(self, row_index: int, rect: Rect, meta: Tuple) -> None:
+        """Fold one shape into one (already materialized) row."""
+        _row_lo, _row_hi, col_lo, col_hi = self._covered_cells(rect)
+        table = self.table
+
+        def mapper(col: int, old: int) -> int:
+            shape = self._cell_shape(rect, row_index, col, meta)
+            if shape is None:
+                return old
+            return table.with_shape(old, shape)
+
+        self._set_range(row_index, col_lo, col_hi, mapper)
+
+    def _ensure_rows(self, row_lo: int, row_hi: int) -> None:
+        """Materialize the fixed geometry of rows [row_lo, row_hi].
+
+        Every mutation and query passes through here first, so a row's
+        interval tree always contains its fixed shapes before anything
+        reads or edits it — cell configurations are multisets, so the
+        final content is the same as the eager build's.
+        """
+        if not self.fixed_rows and not self.fixed_spanning:
+            return
+        for row_index in range(row_lo, row_hi + 1):
+            if row_index in self.materialized:
+                continue
+            self.materialized.add(row_index)
+            for rect, meta in self.fixed_rows.pop(row_index, ()):
+                self._apply_to_row(row_index, rect, meta)
+            for span_lo, span_hi, rect, meta in self.fixed_spanning:
+                if span_lo <= row_index <= span_hi:
+                    self._apply_to_row(row_index, rect, meta)
+            if OBS.enabled:
+                OBS.count("space.lazy_rows")
+
+    def pending_fixed_count(self) -> int:
+        """Registered fixed shapes with at least one unmaterialized row."""
+        pending = sum(len(shapes) for shapes in self.fixed_rows.values())
+        for span_lo, span_hi, _rect, _meta in self.fixed_spanning:
+            if any(
+                row not in self.materialized
+                for row in range(span_lo, span_hi + 1)
+            ):
+                pending += 1
+        return pending
+
     # -- shape operations ---------------------------------------------
     def _cell_shape(self, rect: Rect, row: int, col: int, meta: Tuple) -> Optional[CellShape]:
         clip = rect.intersection(self._cell_rect(row, col))
@@ -214,6 +297,7 @@ class _LayerGrid:
 
     def add(self, rect: Rect, meta: Tuple) -> None:
         row_lo, row_hi, col_lo, col_hi = self._covered_cells(rect)
+        self._ensure_rows(row_lo, row_hi)
         table = self.table
         for row_index in range(row_lo, row_hi + 1):
 
@@ -227,6 +311,7 @@ class _LayerGrid:
 
     def remove(self, rect: Rect, meta: Tuple) -> None:
         row_lo, row_hi, col_lo, col_hi = self._covered_cells(rect)
+        self._ensure_rows(row_lo, row_hi)
         table = self.table
         for row_index in range(row_lo, row_hi + 1):
 
@@ -241,6 +326,7 @@ class _LayerGrid:
     def query(self, rect: Rect) -> Iterator[ShapeEntry]:
         """Shape pieces intersecting ``rect`` (deduplicated)."""
         row_lo, row_hi, col_lo, col_hi = self._covered_cells(rect)
+        self._ensure_rows(row_lo, row_hi)
         seen = set()
         for row_index in range(row_lo, row_hi + 1):
             row = self.rows.get(row_index)
@@ -333,6 +419,29 @@ class ShapeGrid:
         meta = (net, class_name, shape_kind.value, ripup_level, rule_width)
         self._grid(kind, layer).add(rect, meta)
 
+    def add_fixed_shape(
+        self,
+        kind: str,
+        layer: int,
+        rect: Rect,
+        net: Optional[str],
+        class_name: str,
+        shape_kind: ShapeKind,
+        ripup_level: int,
+        rule_width: int,
+    ) -> None:
+        """Register fixed geometry lazily (see ``_LayerGrid.add_fixed``).
+
+        The shape is folded into a row's intervals the first time any
+        operation touches that row; untouched rows never pay the
+        interval-tree cost.  Queries and mutations see exactly what an
+        eager :meth:`add_shape` would have produced.
+        """
+        if OBS.enabled:
+            OBS.count("shapegrid.fixed_shapes")
+        meta = (net, class_name, shape_kind.value, ripup_level, rule_width)
+        self._grid(kind, layer).add_fixed(rect, meta)
+
     def remove_shape(
         self,
         kind: str,
@@ -386,3 +495,11 @@ class ShapeGrid:
 
     def total_interval_count(self) -> int:
         return sum(grid.interval_count() for grid in self._grids.values())
+
+    def pending_fixed_count(self) -> int:
+        """Fixed shapes registered lazily and not yet materialized."""
+        return sum(grid.pending_fixed_count() for grid in self._grids.values())
+
+    def materialized_row_count(self) -> int:
+        """Rows whose lazy fixed geometry has been folded in."""
+        return sum(len(grid.materialized) for grid in self._grids.values())

@@ -1,0 +1,179 @@
+"""Memory-bounded routing spaces: lazy fixed rows, LRU pin-access memo.
+
+Laziness and eviction are *capacity* knobs, never *result* knobs: the
+tests here pin that down by comparing wiring and shape-grid content
+across lazy/eager spaces and across memo-capacity extremes.
+"""
+
+import pytest
+
+from repro.chip.cells import example_cell_library
+from repro.chip.generator import ChipSpec, generate_chip
+from repro.droute.pinaccess import PinAccessPlanner
+from repro.droute.space import RoutingSpace
+from repro.geometry.rect import Rect
+from repro.util.rng import make_rng
+
+
+QUICK_SPEC = ChipSpec("memtest", rows=2, row_width_cells=5, net_count=8, seed=101)
+
+
+def canonical_routes(routes):
+    return {
+        name: (
+            tuple(
+                (tn, level, s.layer, s.x0, s.y0, s.x1, s.y1)
+                for s, level, tn in route.wire_items()
+            ),
+            tuple(
+                (tn, level, v.via_layer, v.x, v.y)
+                for v, level, tn in route.via_items()
+            ),
+        )
+        for name, route in routes.items()
+    }
+
+
+def canonical_paths(paths):
+    return [
+        (p.layer, p.endpoint, p.length, tuple(p.points), p.via is None)
+        for p in paths
+    ]
+
+
+class TestLazyFixedRows:
+    def test_lazy_space_defers_fixed_geometry(self):
+        chip = generate_chip(QUICK_SPEC)
+        lazy = RoutingSpace(chip, lazy_fixed=True)
+        assert lazy.shape_grid.pending_fixed_count() > 0
+        assert lazy.shape_grid.materialized_row_count() == 0
+
+    def test_lazy_queries_match_eager(self):
+        chip = generate_chip(QUICK_SPEC)
+        lazy = RoutingSpace(chip, lazy_fixed=True)
+        eager = RoutingSpace(chip, lazy_fixed=False)
+        assert eager.shape_grid.pending_fixed_count() == 0
+        rng = make_rng(17)
+        die = chip.die
+        for _ in range(100):
+            x = rng.randrange(die.x_lo, die.x_hi - 200)
+            y = rng.randrange(die.y_lo, die.y_hi - 200)
+            window = Rect(x, y, x + rng.randrange(40, 1200), y + rng.randrange(40, 1200))
+            def entries(space, kind, layer):
+                return [
+                    (
+                        e.rect,
+                        e.net,
+                        e.class_name,
+                        e.shape_kind,
+                        e.ripup_level,
+                        e.rule_width,
+                    )
+                    for e in space.shape_grid.query(kind, layer, window)
+                ]
+
+            for kind, layer in sorted(eager.shape_grid._grids):
+                # Ordered comparison on purpose: downstream consumers
+                # (DRC sweeps, access-path tie-breaks) see the query
+                # *stream*, so lazy materialization must reproduce the
+                # eager yield order exactly, not just the same set.
+                assert entries(lazy, kind, layer) == entries(eager, kind, layer)
+        assert lazy.shape_grid.materialized_row_count() > 0
+
+    def test_full_materialization_matches_interval_counts(self):
+        chip = generate_chip(QUICK_SPEC)
+        lazy = RoutingSpace(chip, lazy_fixed=True)
+        eager = RoutingSpace(chip, lazy_fixed=False)
+        die = chip.die
+        for kind, layer in sorted(eager.shape_grid._grids):
+            lazy.shape_grid.query(kind, layer, die)
+        for kind, layer in sorted(eager.shape_grid._grids):
+            assert lazy.shape_grid.interval_count(kind, layer) == (
+                eager.shape_grid.interval_count(kind, layer)
+            )
+        assert lazy.shape_grid.pending_fixed_count() == 0
+
+    def test_env_var_controls_default(self, monkeypatch):
+        chip = generate_chip(QUICK_SPEC)
+        monkeypatch.setenv("REPRO_LAZY_ROWS", "0")
+        assert RoutingSpace(chip).lazy_fixed is False
+        monkeypatch.setenv("REPRO_LAZY_ROWS", "1")
+        assert RoutingSpace(chip).lazy_fixed is True
+
+
+class TestRoutingBitIdentity:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return generate_chip(
+            ChipSpec("memroute", rows=2, row_width_cells=4, net_count=6, seed=7)
+        )
+
+    def _route(self, chip, monkeypatch, lazy_env, memo_cap=None):
+        from repro.flow.bonnroute import BonnRouteFlow
+
+        monkeypatch.setenv("REPRO_LAZY_ROWS", lazy_env)
+        if memo_cap is not None:
+            monkeypatch.setenv("REPRO_PINACCESS_MEMO_CAP", str(memo_cap))
+        result = BonnRouteFlow(chip, gr_phases=6, seed=1).run()
+        return canonical_routes(result.space.routes)
+
+    def test_lazy_rows_do_not_change_wiring(self, chip, monkeypatch):
+        lazy = self._route(chip, monkeypatch, "1")
+        eager = self._route(chip, monkeypatch, "0")
+        assert lazy == eager
+
+    def test_memo_eviction_pressure_does_not_change_wiring(
+        self, chip, monkeypatch
+    ):
+        relaxed = self._route(chip, monkeypatch, "1")
+        # Capacity 1 forces an eviction on virtually every catalogue
+        # store: the cold, warm and thrashing paths must agree.
+        pressured = self._route(chip, monkeypatch, "1", memo_cap=1)
+        assert relaxed == pressured
+
+
+class TestPinAccessMemoLru:
+    @pytest.fixture()
+    def space(self):
+        return RoutingSpace(generate_chip(QUICK_SPEC))
+
+    def test_capacity_bounds_memo(self, space):
+        planner = PinAccessPlanner(space, memo_capacity=1)
+        pins = [net.pins[0] for net in space.chip.nets[:3]]
+        for pin in pins:
+            planner.build_catalogue(pin)
+            assert len(planner._catalogue_memo) <= 1
+
+    def test_eviction_rebuild_is_identical(self, space):
+        planner = PinAccessPlanner(space, memo_capacity=1)
+        pin_a = space.chip.nets[0].pins[0]
+        pin_b = space.chip.nets[1].pins[0]
+        cold = canonical_paths(planner.build_catalogue(pin_a))
+        planner.build_catalogue(pin_b)  # evicts pin_a's entry
+        rebuilt = canonical_paths(planner.build_catalogue(pin_a))
+        assert rebuilt == cold
+
+    def test_warm_hit_matches_cold(self, space):
+        planner = PinAccessPlanner(space)
+        pin = space.chip.nets[0].pins[0]
+        cold = canonical_paths(planner.build_catalogue(pin))
+        warm = canonical_paths(planner.build_catalogue(pin))
+        assert warm == cold
+
+    def test_env_var_controls_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PINACCESS_MEMO_CAP", "17")
+        space = RoutingSpace(generate_chip(QUICK_SPEC))
+        assert PinAccessPlanner(space).memo_capacity == 17
+
+
+class TestLibraryInterning:
+    def test_same_parameters_share_templates(self):
+        first = example_cell_library()
+        second = example_cell_library()
+        assert first is not second  # fresh list...
+        assert all(a is b for a, b in zip(first, second))  # ...shared templates
+
+    def test_different_parameters_do_not_share(self):
+        default = example_cell_library()
+        other = example_cell_library(pin_size=48)
+        assert all(a is not b for a, b in zip(default, other))

@@ -266,6 +266,23 @@ class TestCliTrace:
             "pathsearch.kernel.pi_gr_searches",
         ):
             assert name in documented, f"{name} missing from the docs"
+        # Memory-bounded spaces: lazy fixed rows are on by default, so a
+        # traced run must emit the laziness counters — and the whole
+        # memory family (including the shard store, which this small
+        # non-sharded run does not exercise) must be catalogued.
+        assert "space.lazy_rows" in counters
+        assert "shapegrid.fixed_shapes" in counters
+        assert "space.fixed_shapes_registered" in summary["gauges"]
+        for name in (
+            "space.lazy_rows",
+            "space.fixed_shapes_registered",
+            "shapegrid.fixed_shapes",
+            "pinaccess.evictions",
+            "shards.loads",
+            "shards.evictions",
+            "shards.resident",
+        ):
+            assert name in documented, f"{name} missing from the docs"
 
         heatmap = json.loads(Path(heatmap_path).read_text())
         assert heatmap["type"] == "congestion_heatmap"

@@ -62,6 +62,28 @@ class TestConfigTable:
         assert table.without_shape(twice, shape) == once
         assert table.without_shape(once, shape) == EMPTY_CONFIG_ID
 
+    def test_shapes_order_is_insertion_independent(self):
+        """shapes() yields a canonical order, whatever order built it.
+
+        Lazily materialized rows intern configurations in a different
+        sequence than an eager build; if iteration order leaked the
+        build order, order-sensitive consumers of query streams would
+        route differently with identical grid content.
+        """
+        shapes = [
+            CellShape(i * 7 % 5, i * 3 % 4, 10 + i, 10 + i, f"n{i % 3}", "c", "wire", 3, 40)
+            for i in range(8)
+        ] + [CellShape(0, 0, 10, 10, None, "c", "blockage", 7, 40)]
+        forward = ConfigTable()
+        backward = ConfigTable()
+        cfg_fwd = EMPTY_CONFIG_ID
+        for shape in shapes:
+            cfg_fwd = forward.with_shape(cfg_fwd, shape)
+        cfg_bwd = EMPTY_CONFIG_ID
+        for shape in reversed(shapes):
+            cfg_bwd = backward.with_shape(cfg_bwd, shape)
+        assert list(forward.shapes(cfg_fwd)) == list(backward.shapes(cfg_bwd))
+
 
 class TestShapeGridBasics:
     def test_query_empty(self):
